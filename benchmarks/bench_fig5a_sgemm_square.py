@@ -1,0 +1,61 @@
+"""Figure 5a: x86 SGEMM GFLOP/s on square matrices.
+
+Paper: Exo, MKL, and OpenBLAS all land between 80-95 % of the 137.6 GFLOP/s
+single-core peak across M = N = K from small to 2000, within measurement
+noise of each other.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.baselines import mkl_sgemm_gflops, openblas_sgemm_gflops
+from repro.machine.x86_sim import DEFAULT, sgemm_cost
+from repro.reporting import series
+
+SIZES = [96, 192, 384, 512, 768, 1024, 1536, 2048]
+
+_RESULTS = {}
+
+
+def _run_all():
+    if _RESULTS:
+        return _RESULTS
+    pts = {"Exo": [], "MKL": [], "OpenBLAS": []}
+    for n in SIZES:
+        pts["Exo"].append((n, sgemm_cost(n, n, n).gflops()))
+        pts["MKL"].append((n, mkl_sgemm_gflops(n, n, n)))
+        pts["OpenBLAS"].append((n, openblas_sgemm_gflops(n, n, n)))
+    _RESULTS["pts"] = pts
+    return _RESULTS
+
+
+def test_fig5a_report(capsys):
+    pts = _run_all()["pts"]
+    with capsys.disabled():
+        print()
+        print(
+            series(
+                "Fig 5a: SGEMM on square matrices (peak = "
+                f"{DEFAULT.peak_gflops:.1f} GFLOP/s)",
+                "M=N=K",
+                "GFLOP/s",
+                pts,
+            )
+        )
+    peak = DEFAULT.peak_gflops
+    for n, g in pts["Exo"]:
+        if n >= 192:
+            assert 0.70 * peak <= g <= peak, f"Exo at {n}: {g:.1f}"
+    # all three implementations within ~15% of each other at square sizes
+    for i, n in enumerate(SIZES):
+        ge = pts["Exo"][i][1]
+        gm = pts["MKL"][i][1]
+        go = pts["OpenBLAS"][i][1]
+        assert abs(ge - gm) / max(ge, gm) < 0.18
+        assert abs(ge - go) / max(ge, go) < 0.18
+
+
+@pytest.mark.parametrize("n", [512, 2048])
+def test_fig5a_benchmark(benchmark, n):
+    benchmark(lambda: sgemm_cost(n, n, n).gflops())

@@ -1,0 +1,33 @@
+"""Shared benchmark fixtures and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine.gemmini_sim import GemminiSim
+from repro.machine.trace import trace_kernel
+
+
+@pytest.fixture(scope="session")
+def gemmini_sim():
+    return GemminiSim()
+
+
+def gemmini_matmul_utilization(proc, N, M, K, sim=None):
+    """Trace + simulate one Gemmini matmul; returns the SimResult."""
+    sim = sim or GemminiSim()
+    A = np.zeros((N, K), np.int8)
+    B = np.zeros((K, M), np.int8)
+    C = np.zeros((N, M), np.int8)
+    events = trace_kernel(proc, N, M, K, A, B, C)
+    return sim.run(events), sim.ideal_bound(events)
+
+
+def gemmini_conv_utilization(proc, B, OY, OX, OC, IC, sim=None):
+    sim = sim or GemminiSim()
+    inp = np.zeros((B, OY + 2, OX + 2, IC), np.int8)
+    w = np.zeros((3, 3, IC, OC), np.int8)
+    out = np.zeros((B, OY, OX, OC), np.int8)
+    events = trace_kernel(proc, B, OY, OX, OC, IC, inp, w, out)
+    return sim.run(events), sim.ideal_bound(events)

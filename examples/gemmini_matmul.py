@@ -1,0 +1,71 @@
+"""The paper's running example (§2): deriving a Gemmini matmul.
+
+Shows the whole §2 story on the real library: tiling, staging into
+scratchpad/accumulator memories, unification-based instruction selection,
+configuration hoisting -- then traces the result through the timing
+simulator and reports utilization against the Old-lib baseline.
+
+Run:  python examples/gemmini_matmul.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.gemmini_matmul import (
+    matmul_base,
+    matmul_exo,
+    matmul_exo_blocked,
+    matmul_oldlib,
+)
+from repro.machine.gemmini_sim import GemminiSim
+from repro.machine.trace import trace_kernel
+
+
+def main():
+    print("=== the algorithm (matmul_base) ===")
+    print(matmul_base)
+
+    exo = matmul_exo()
+    print("\n=== derived Exo kernel (configs hoisted, instrs selected) ===")
+    print(exo)
+
+    print("\n=== generated C ===")
+    print(exo.c_code())
+
+    # functional check against numpy
+    N = M = K = 32
+    rng = np.random.default_rng(0)
+    A = rng.integers(0, 3, (N, K)).astype(np.int8)
+    B = rng.integers(0, 3, (K, M)).astype(np.int8)
+    C = np.zeros((N, M), np.int8)
+    exo.interpret(N, M, K, A, B, C)
+    assert np.array_equal(C, (A.astype(np.int32) @ B.astype(np.int32)).astype(np.int8))
+    print("functional check vs numpy  [ok]")
+
+    # timing: trace each schedule through the decoupled-access/execute model
+    sim = GemminiSim()
+    N = M = K = 128
+    blank = lambda: (
+        np.zeros((N, K), np.int8), np.zeros((K, M), np.int8),
+        np.zeros((N, M), np.int8),
+    )
+    print(f"\n=== simulated utilization at {N}x{M}x{K} ===")
+    for name, p in [
+        ("Old-lib (fused configs)", matmul_oldlib()),
+        ("Exo 16x16 tiles", matmul_exo()),
+        ("Exo 64x64 macro-tiles + double buffering", matmul_exo_blocked(4, 4)),
+    ]:
+        ev = trace_kernel(p, N, M, K, *blank())
+        r = sim.run(ev)
+        print(
+            f"  {name:45s} {r.utilization:6.1%} of peak "
+            f"({r.flushes} pipeline flushes, {r.events} instructions)"
+        )
+    ev = trace_kernel(matmul_exo_blocked(4, 4), N, M, K, *blank())
+    h = sim.ideal_bound(ev)
+    print(f"  {'Hardware loop-unroller bound':45s} {h.utilization:6.1%} of peak")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,385 @@
+"""The public Exo API: decorators and the schedulable :class:`Procedure`.
+
+    from repro import proc, instr, config, DRAM, f32, size
+
+    @proc
+    def gemm(M: size, N: size, K: size,
+             A: f32[M, K] @ DRAM, B: f32[K, N] @ DRAM, C: f32[M, N] @ DRAM):
+        for i in seq(0, M):
+            for j in seq(0, N):
+                for k in seq(0, K):
+                    C[i, j] += A[i, k] * B[k, j]
+
+    fast = gemm.split("for i in _: _", 16, "io", "ii").reorder("for ii in _: _")
+
+Every scheduling method returns a *new* ``Procedure``; the original is
+untouched.  Each rewrite re-runs type checking and the front-end safety
+checks, and provenance (equivalence modulo config pollution) is tracked
+for ``call_eqv``.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from .core import ast as IR
+from .core import types as T
+from .core.cgen import compile_procs
+from .core.checks import check_proc as _frontend_check
+from .core.configs import Config, config_from_class
+from .core.interp import run_proc
+from .core.prelude import SchedulingError
+from .core.typecheck import typecheck_proc
+from .effects.api import checks_enabled, set_check_mode
+from .frontend.parser import parse_function
+from .scheduling import primitives as P
+from .scheduling import unify as U
+from .scheduling.eqv import EqvNode, eqv_pollution
+from .scheduling.pattern import find_expr, find_stmt, parse_fragment_expr
+from .scheduling.simplify import simplify_proc
+
+
+#: global counter of scheduling directives applied (Fig. 7 reports the
+#: number of directives per app); reset it around a derivation to measure
+SCHEDULE_OP_COUNT = [0]
+
+#: registry mapping raw IR procs to their provenance nodes, so that
+#: call_eqv can recover the equivalence class of a call's current target
+_EQV_OF_IR: dict = {}
+
+
+class Procedure:
+    """A schedulable Exo procedure (the object ``@proc`` returns)."""
+
+    def __init__(self, loopir_proc: IR.Proc, _eqv: EqvNode | None = None,
+                 _checked: bool = False):
+        self._loopir_proc = loopir_proc
+        self._eqv = _eqv or EqvNode()
+        _EQV_OF_IR[id(loopir_proc)] = self._eqv
+        if not _checked and checks_enabled():
+            _frontend_check(loopir_proc)
+
+    # -- introspection --------------------------------------------------------
+
+    def name(self) -> str:
+        return self._loopir_proc.name
+
+    def is_instr(self) -> bool:
+        return self._loopir_proc.instr is not None
+
+    def ir(self) -> IR.Proc:
+        return self._loopir_proc
+
+    def __str__(self):
+        return str(self._loopir_proc)
+
+    def __repr__(self):
+        return f"<Procedure {self.name()}>"
+
+    # -- execution & compilation ------------------------------------------------
+
+    def interpret(self, *args, config_state=None, instr_hook=None):
+        """Run the procedure on numpy buffers via the reference interpreter."""
+        return run_proc(
+            self._loopir_proc, *args, config_state=config_state,
+            instr_hook=instr_hook,
+        )
+
+    def c_code(self) -> str:
+        """Compile this procedure (and its callees) to a C source string."""
+        return compile_procs([self._loopir_proc])
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _derive(self, new_ir: IR.Proc, pollution=frozenset()) -> "Procedure":
+        SCHEDULE_OP_COUNT[0] += 1
+        new_ir = typecheck_proc(simplify_proc(new_ir))
+        if checks_enabled():
+            _frontend_check(new_ir)
+        node = EqvNode(self._eqv, pollution)
+        return Procedure(new_ir, _eqv=node, _checked=True)
+
+    def rename(self, name: str) -> "Procedure":
+        from dataclasses import replace as dc_replace
+
+        return self._derive(dc_replace(self._loopir_proc, name=name))
+
+    def simplify(self) -> "Procedure":
+        return self._derive(self._loopir_proc)
+
+    def split(self, loop: str, factor: int, hi: str, lo: str,
+              tail: str = "guard") -> "Procedure":
+        """Fig. 2 split: ``for i<N`` -> ``for io<N/c: for ii<c``."""
+        (m,) = find_stmt(self._loopir_proc, loop, _one=True)
+        ir, pol = P.split(self._loopir_proc, m, factor, hi, lo, tail)
+        return self._derive(ir, pol)
+
+    def reorder(self, loop: str) -> "Procedure":
+        """Fig. 2 reorder: swap a loop with the one nested inside it."""
+        (m,) = find_stmt(self._loopir_proc, loop, _one=True)
+        ir, pol = P.reorder_loops(self._loopir_proc, m)
+        return self._derive(ir, pol)
+
+    def unroll(self, loop: str) -> "Procedure":
+        (m,) = find_stmt(self._loopir_proc, loop, _one=True)
+        ir, pol = P.unroll(self._loopir_proc, m)
+        return self._derive(ir, pol)
+
+    def inline(self, call: str) -> "Procedure":
+        (m,) = find_stmt(self._loopir_proc, call, _one=True)
+        ir, pol = P.inline_call(self._loopir_proc, m)
+        return self._derive(ir, pol)
+
+    def set_memory(self, name: str, mem) -> "Procedure":
+        ir, pol = P.set_memory(self._loopir_proc, name, mem)
+        return self._derive(ir, pol)
+
+    def set_precision(self, name: str, typ) -> "Procedure":
+        ir, pol = P.set_precision(self._loopir_proc, name, typ)
+        return self._derive(ir, pol)
+
+    def call_eqv(self, eqv_proc: "Procedure", call: str) -> "Procedure":
+        """Fig. 2 call_eqv: swap a call for an equivalent procedure."""
+        (m,) = find_stmt(self._loopir_proc, call, _one=True)
+        call_stmt = IR.get_stmt(self._loopir_proc, m.path)
+        if not isinstance(call_stmt, IR.Call):
+            raise SchedulingError("call_eqv: pattern must match a call")
+        old_node = _EQV_OF_IR.get(id(call_stmt.proc))
+        if old_node is None:
+            raise SchedulingError(
+                "call_eqv: the current callee has no provenance record"
+            )
+        pollution = eqv_pollution(old_node, eqv_proc._eqv)
+        ir, pol = P.call_eqv(
+            self._loopir_proc, m, eqv_proc._loopir_proc, pollution
+        )
+        return self._derive(ir, pol)
+
+    def bind_expr(self, new_name: str, expr: str) -> "Procedure":
+        ms = find_expr(self._loopir_proc, expr)
+        ir, pol = P.bind_expr(self._loopir_proc, ms, new_name)
+        return self._derive(ir, pol)
+
+    def stage_mem(self, block: str, window: str, new_name: str) -> "Procedure":
+        """Fig. 2 stage_mem: stage a window of a buffer around a block."""
+        (m,) = find_stmt(self._loopir_proc, block, _one=True)
+        wexpr = parse_fragment_expr(self._loopir_proc, m.path, window)
+        if not isinstance(wexpr, IR.WindowExpr):
+            if isinstance(wexpr, IR.Read):
+                wexpr = IR.WindowExpr(
+                    wexpr.name,
+                    tuple(IR.Point(i) for i in wexpr.idx),
+                    None,
+                    wexpr.srcinfo,
+                )
+            else:
+                raise SchedulingError("stage_mem: window must be buf[lo:hi, ...]")
+        ir, pol = P.stage_mem(self._loopir_proc, m, wexpr, new_name)
+        return self._derive(ir, pol)
+
+    def bind_config(self, expr: str, config: Config, field: str) -> "Procedure":
+        ms = find_expr(self._loopir_proc, expr)
+        ir, pol = P.bind_config(self._loopir_proc, ms[0], config, field)
+        return self._derive(ir, pol)
+
+    def expand_dim(self, alloc: str, extent: str, index: str) -> "Procedure":
+        """Give a per-iteration allocation an extra dimension indexed by a
+        loop iterator (the enabling step before lift_alloc)."""
+        (m,) = find_stmt(self._loopir_proc, alloc, _one=True)
+        ext_e = parse_fragment_expr(self._loopir_proc, m.path, extent)
+        idx_e = parse_fragment_expr(self._loopir_proc, m.path, index)
+        ir, pol = P.expand_dim(self._loopir_proc, m, ext_e, idx_e)
+        return self._derive(ir, pol)
+
+    def lift_alloc(self, alloc: str, n_lifts: int = 1) -> "Procedure":
+        (m,) = find_stmt(self._loopir_proc, alloc, _one=True)
+        ir, pol = P.lift_alloc(self._loopir_proc, m, n_lifts)
+        return self._derive(ir, pol)
+
+    def fission_after(self, stmt: str, n_lifts: int = 1) -> "Procedure":
+        (m,) = find_stmt(self._loopir_proc, stmt, _one=True)
+        ir, pol = P.fission_after(self._loopir_proc, m, n_lifts)
+        return self._derive(ir, pol)
+
+    def reorder_stmts(self, first: str) -> "Procedure":
+        """Swap the matched statement block with the statement after it."""
+        (m,) = find_stmt(self._loopir_proc, first, _one=True)
+        ir, pol = P.reorder_stmts(self._loopir_proc, m)
+        return self._derive(ir, pol)
+
+    def reorder_before(self, stmt: str) -> "Procedure":
+        """Move the matched statement before its predecessor."""
+        (m,) = find_stmt(self._loopir_proc, stmt, _one=True)
+        fld, idx = m.path[-1]
+        if idx == 0:
+            raise SchedulingError("reorder_before: nothing precedes the statement")
+        prev = P.StmtMatch(m.path[:-1] + ((fld, idx - 1),), 1)
+        ir, pol = P.reorder_stmts(self._loopir_proc, prev)
+        return self._derive(ir, pol)
+
+    def configwrite_at(self, stmt: str, config: Config, field: str,
+                       rhs: str) -> "Procedure":
+        """§5.7 "new config write": insert ``config.field = rhs`` after stmt."""
+        (m,) = find_stmt(self._loopir_proc, stmt, _one=True)
+        rhs_e = parse_fragment_expr(self._loopir_proc, m.path, rhs)
+        ir, pol = P.configwrite_after(self._loopir_proc, m, config, field, rhs_e)
+        return self._derive(ir, pol)
+
+    def configwrite_root(self, config: Config, field: str, rhs: str) -> "Procedure":
+        rhs_e = parse_fragment_expr(self._loopir_proc, (("body", 0),), rhs)
+        ir, pol = P.configwrite_root(self._loopir_proc, config, field, rhs_e)
+        return self._derive(ir, pol)
+
+    def replace(self, subproc: "Procedure", block: str) -> "Procedure":
+        """§3.4 unification-based replacement / instruction selection."""
+        (m,) = find_stmt(self._loopir_proc, block, _one=True)
+        ir = U.replace_block(
+            self._loopir_proc, m.path, m.count, subproc._loopir_proc
+        )
+        return self._derive(ir)
+
+    def replace_all(self, subproc: "Procedure") -> "Procedure":
+        """Replace every block matching ``subproc``'s body shape."""
+        out = self
+        progress = True
+        while progress:
+            progress = False
+            matches = _candidate_blocks(out._loopir_proc, subproc._loopir_proc)
+            for m in matches:
+                try:
+                    ir = U.replace_block(
+                        out._loopir_proc, m.path, m.count, subproc._loopir_proc
+                    )
+                except SchedulingError:
+                    continue
+                out = out._derive(ir)
+                progress = True
+                break
+        return out
+
+    def add_guard(self, stmt: str, cond: str) -> "Procedure":
+        (m,) = find_stmt(self._loopir_proc, stmt, _one=True)
+        cond_e = parse_fragment_expr(self._loopir_proc, m.path, cond)
+        ir, pol = P.add_guard(self._loopir_proc, m, cond_e)
+        return self._derive(ir, pol)
+
+    def fuse_loop(self, first_loop: str) -> "Procedure":
+        (m,) = find_stmt(self._loopir_proc, first_loop, _one=True)
+        ir, pol = P.fuse_loops(self._loopir_proc, m)
+        return self._derive(ir, pol)
+
+    def lift_if(self, loop: str) -> "Procedure":
+        (m,) = find_stmt(self._loopir_proc, loop, _one=True)
+        ir, pol = P.lift_if(self._loopir_proc, m)
+        return self._derive(ir, pol)
+
+    def partition_loop(self, loop: str, cut: int) -> "Procedure":
+        (m,) = find_stmt(self._loopir_proc, loop, _one=True)
+        ir, pol = P.partition_loop(self._loopir_proc, m, cut)
+        return self._derive(ir, pol)
+
+    def remove_loop(self, loop: str) -> "Procedure":
+        (m,) = find_stmt(self._loopir_proc, loop, _one=True)
+        ir, pol = P.remove_loop(self._loopir_proc, m)
+        return self._derive(ir, pol)
+
+    def delete_pass(self) -> "Procedure":
+        ir, pol = P.delete_pass(self._loopir_proc)
+        return self._derive(ir, pol)
+
+
+def _candidate_blocks(proc: IR.Proc, callee: IR.Proc):
+    """Blocks whose leading statement shape matches the callee body."""
+    from .scheduling.pattern import StmtMatch, _iter_blocks
+
+    want = len([s for s in callee.body if not isinstance(s, IR.Pass)])
+    first = callee.body[0]
+    out = []
+    for prefix, block in _iter_blocks(proc):
+        for i, s in enumerate(block):
+            if type(s) is type(first) and i + want <= len(block):
+                out.append(
+                    StmtMatch(prefix[:-1] + ((prefix[-1][0], i),), want)
+                )
+    return out
+
+
+# patch find_stmt to return exactly one match when requested
+_orig_find_stmt = find_stmt
+
+
+@functools.wraps(_orig_find_stmt)
+def find_stmt(proc, pattern, index=None, _one=False):  # noqa: F811
+    matches = _orig_find_stmt(proc, pattern, index)
+    if _one:
+        if len(matches) > 1:
+            raise SchedulingError(
+                f"pattern {pattern!r} is ambiguous ({len(matches)} matches); "
+                f"disambiguate with '#n'"
+            )
+        return matches[:1]
+    return matches
+
+
+# ---------------------------------------------------------------------------
+# Decorators
+# ---------------------------------------------------------------------------
+
+
+def proc(fn) -> Procedure:
+    """Parse a Python function as an Exo procedure."""
+    ir = typecheck_proc(parse_function(fn))
+    return Procedure(ir)
+
+
+def instr(c_instr: str, c_global: str = ""):
+    """Declare an instruction: the body is the semantic spec; code
+    generation emits the C template instead (§3.2.2)."""
+
+    def decorator(fn) -> Procedure:
+        info = IR.InstrInfo(c_instr, c_global)
+        ir = typecheck_proc(parse_function(fn, info))
+        return Procedure(ir)
+
+    return decorator
+
+
+_SRC_COUNTER = [0]
+
+
+def procs_from_source(src: str, extra_globals: dict | None = None) -> dict:
+    """Execute a source string defining ``@proc`` functions and return the
+    resulting Procedures by name.
+
+    This is the metaprogramming entry point the paper's x86 case study
+    relies on: specialized kernel variants are generated by formatting size
+    literals into a template and scheduling the result (§7.2, §7.3)."""
+    import linecache
+
+    _SRC_COUNTER[0] += 1
+    filename = f"<repro-metaprog-{_SRC_COUNTER[0]}>"
+    linecache.cache[filename] = (
+        len(src), None, src.splitlines(True), filename
+    )
+    env = {"proc": proc, "instr": instr, "config": config}
+    if extra_globals:
+        env.update(extra_globals)
+    exec(compile(src, filename, "exec"), env)
+    return {k: v for k, v in env.items() if isinstance(v, Procedure)}
+
+
+def config(cls=None, *, disable_rw: bool = False):
+    """Declare a global configuration struct (§3.2.3)."""
+    if cls is None:
+        return lambda c: config_from_class(c, disable_rw)
+    return config_from_class(cls)
+
+
+__all__ = [
+    "Procedure",
+    "proc",
+    "instr",
+    "config",
+    "set_check_mode",
+    "compile_procs",
+]

@@ -1,0 +1,146 @@
+"""x86 AVX-512 SGEMM (§7.2).
+
+The paper's decomposition: a register-blocked 6x64 micro-kernel accumulates
+the inner dimension into a panel of C; every specialized variant (different
+register-tile shapes for edge cases) is produced by *metaprogramming the
+schedule in Python* over a single naive rank-1-update algorithm; the outer
+kernel is derived by tiling the naive three-loop SGEMM and ``replace()``-ing
+the inner nest with a call to the micro-kernel, then ``call_eqv``-ing to the
+scheduled variant.
+
+``make_microkernel(mr, nv)`` is that metaprogram: it returns both the
+algorithmic micro-kernel (used for unification) and the AVX-512-scheduled
+equivalent, for any register tile of ``mr`` rows by ``nv`` 16-lane vectors.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .. import DRAM, f32, proc
+from ..api import Procedure
+from ..frontend.parser import parse_function
+from ..core.typecheck import typecheck_proc
+from ..platforms.avx512 import (
+    AVX512,
+    mm512_fmadd_bcast_ps,
+    mm512_loadu_ps,
+    mm512_storeu_ps,
+)
+
+#: the paper's register blocking: 6 rows x 64 columns (4 zmm vectors)
+MR = 6
+NV = 4
+
+
+def _microkernel_algorithm(mr: int, nv: int):
+    """The naive rank-1-update micro-kernel algorithm for an mr x (nv*16)
+    register tile.  Built once per shape via exec-based metaprogramming so
+    that the sizes appear as literals (the paper specializes its kernels to
+    constants the same way)."""
+    nw = nv * 16
+    src = f"""
+from __future__ import annotations
+from repro import proc, DRAM, f32, size
+
+@proc
+def ukernel_{mr}x{nw}(K: size,
+                      A: f32[{mr}, K] @ DRAM,
+                      B: f32[K, {nw}] @ DRAM,
+                      C: f32[{mr}, {nw}] @ DRAM):
+    assert K >= 1
+    for k in seq(0, K):
+        for i in seq(0, {mr}):
+            for j in seq(0, {nw}):
+                C[i, j] += A[i, k] * B[k, j]
+"""
+    from ..api import procs_from_source
+
+    return procs_from_source(src)[f"ukernel_{mr}x{nw}"]
+
+
+def _schedule_microkernel(p: Procedure, mr: int, nv: int) -> Procedure:
+    """Vectorize the rank-1 update micro-kernel:
+
+    * stage the C tile in vector registers across the whole K loop,
+    * split the lane loop by 16 and select broadcast-FMA instructions.
+    """
+    nw = nv * 16
+    # stage C into a register tile around the K loop
+    p = p.stage_mem("for k in _: _", f"C[0:{mr}, 0:{nw}]", "c_tile")
+    p = p.set_memory("c_tile", AVX512)
+    # vectorize the copy-in / copy-out loops (the two instructions have the
+    # same Exo semantics, so each loop is replaced by name, not shape)
+    p = p.split("for i1 in _: _ #0", 16, "jv", "lane", tail="perfect")
+    p = p.split("for i1 in _: _ #0", 16, "jv", "lane", tail="perfect")
+    p = p.replace(mm512_loadu_ps, "for lane in _: _ #0")
+    p = p.replace(mm512_storeu_ps, "for lane in _: _ #0")
+    # vectorize the update
+    p = p.split("for j in _: _", 16, "jv", "lane", tail="perfect")
+    p = p.replace_all(mm512_fmadd_bcast_ps)
+    return p
+
+
+@lru_cache(maxsize=None)
+def make_microkernel(mr: int = MR, nv: int = NV):
+    """Returns ``(algorithm, scheduled)`` micro-kernel Procedures."""
+    algo = _microkernel_algorithm(mr, nv)
+    sched = _schedule_microkernel(
+        algo.rename(f"ukernel_{mr}x{nv * 16}_avx512"), mr, nv
+    )
+    return algo, sched
+
+
+@proc
+def sgemm_base(M: size, N: size, K: size,
+               A: f32[M, K] @ DRAM,
+               B: f32[K, N] @ DRAM,
+               C: f32[M, N] @ DRAM):
+    assert K >= 1
+    for i in seq(0, M):
+        for j in seq(0, N):
+            for k in seq(0, K):
+                C[i, j] += A[i, k] * B[k, j]
+
+
+@lru_cache(maxsize=None)
+def sgemm_exo(mr: int = MR, nv: int = NV):
+    """The main SGEMM kernel (divisible sizes): tile, rewrite the inner
+    nest into the rank-1-update order, abstract it into the micro-kernel by
+    unification, and swap in the vectorized equivalent."""
+    nw = nv * 16
+    algo, sched = make_microkernel(mr, nv)
+    src = f"""
+from __future__ import annotations
+from repro import proc, DRAM, f32, size
+
+@proc
+def sgemm_exo(M: size, N: size, K: size,
+              A: f32[M, K] @ DRAM,
+              B: f32[K, N] @ DRAM,
+              C: f32[M, N] @ DRAM):
+    assert M % {mr} == 0
+    assert N % {nw} == 0
+    assert K >= 1
+    for i in seq(0, M):
+        for j in seq(0, N):
+            for k in seq(0, K):
+                C[i, j] += A[i, k] * B[k, j]
+"""
+    from ..api import procs_from_source
+
+    p = procs_from_source(src)["sgemm_exo"]
+    p = p.split("for i in _: _", mr, "io", "ii", tail="perfect")
+    p = p.split("for j in _: _", nw, "jo", "ji", tail="perfect")
+    p = p.reorder("for ii in _: _")  # io, jo, ii, ji, k
+    # bring k outermost within the tile: ii, ji, k -> k, ii, ji
+    p = p.reorder("for ji in _: _")  # ji <-> k
+    p = p.reorder("for ii in _: _")  # ii <-> k
+    p = p.replace(algo, "for k in _: _")
+    p = p.call_eqv(sched, f"ukernel_{mr}x{nw}(_)")
+    return p
+
+
+def sgemm_interpret(p: Procedure, M, N, K, A, B, C):
+    """Convenience wrapper running an SGEMM procedure on numpy arrays."""
+    return p.interpret(M, N, K, A, B, C)

@@ -1,0 +1,125 @@
+"""Built-in data functions.
+
+Data values may flow through arbitrary computations (§3.1).  Beyond the
+arithmetic operators, Exo programs use a handful of built-in functions --
+notably ``relu`` for the fused activations in the paper's CONV kernels and
+``select`` for predication.  Each built-in supplies type checking, a C
+expansion, and a Python implementation for the interpreter.
+"""
+
+from __future__ import annotations
+
+from .prelude import TypeCheckError
+from . import types as T
+
+
+class BuiltIn:
+    """A built-in function over data values."""
+
+    def __init__(self, name: str, arity: int):
+        self.name = name
+        self.arity = arity
+
+    def typecheck(self, arg_types):
+        if len(arg_types) != self.arity:
+            raise TypeCheckError(
+                f"{self.name} expects {self.arity} arguments, got {len(arg_types)}"
+            )
+        for t in arg_types:
+            if not t.is_real_scalar():
+                raise TypeCheckError(f"{self.name} arguments must be scalar data values")
+        out = arg_types[0]
+        for t in arg_types[1:]:
+            joined = T.join_precision(out, t)
+            if joined is None:
+                raise TypeCheckError(f"{self.name}: inconsistent argument precisions")
+            out = joined
+        return out
+
+    def interpret(self, args):
+        raise NotImplementedError
+
+    def compile(self, arg_strs, prim_type: str) -> str:
+        raise NotImplementedError
+
+    def globl(self, prim_type: str) -> str:
+        """C helper definitions required by this builtin (may be empty)."""
+        return ""
+
+    def __repr__(self):
+        return f"<builtin {self.name}>"
+
+
+class _Relu(BuiltIn):
+    def __init__(self):
+        super().__init__("relu", 1)
+
+    def interpret(self, args):
+        x = args[0]
+        return x if x > 0 else type(x)(0)
+
+    def compile(self, arg_strs, prim_type):
+        return f"_relu_{prim_type}({arg_strs[0]})"
+
+    def globl(self, prim_type):
+        return (
+            f"static inline {prim_type} _relu_{prim_type}({prim_type} x) "
+            "{ return x > 0 ? x : 0; }"
+        )
+
+
+class _Select(BuiltIn):
+    """``select(a, b, x, y)`` = x if a < b else y (branch-free predication)."""
+
+    def __init__(self):
+        super().__init__("select", 4)
+
+    def interpret(self, args):
+        a, b, x, y = args
+        return x if a < b else y
+
+    def compile(self, arg_strs, prim_type):
+        a, b, x, y = arg_strs
+        return f"(({a}) < ({b}) ? ({x}) : ({y}))"
+
+
+class _Min(BuiltIn):
+    def __init__(self):
+        super().__init__("fmin", 2)
+
+    def interpret(self, args):
+        return min(args)
+
+    def compile(self, arg_strs, prim_type):
+        return f"(({arg_strs[0]}) < ({arg_strs[1]}) ? ({arg_strs[0]}) : ({arg_strs[1]}))"
+
+
+class _Max(BuiltIn):
+    def __init__(self):
+        super().__init__("fmax", 2)
+
+    def interpret(self, args):
+        return max(args)
+
+    def compile(self, arg_strs, prim_type):
+        return f"(({arg_strs[0]}) > ({arg_strs[1]}) ? ({arg_strs[0]}) : ({arg_strs[1]}))"
+
+
+class _Sqrt(BuiltIn):
+    def __init__(self):
+        super().__init__("sqrt", 1)
+
+    def interpret(self, args):
+        return args[0] ** 0.5
+
+    def compile(self, arg_strs, prim_type):
+        return f"sqrt({arg_strs[0]})"
+
+
+relu = _Relu()
+select = _Select()
+fmin = _Min()
+fmax = _Max()
+sqrt = _Sqrt()
+
+BUILTINS = {b.name: b for b in (relu, select, fmin, fmax, sqrt)}

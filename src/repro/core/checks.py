@@ -1,0 +1,166 @@
+"""Front-end safety checks that ride on the SMT solver.
+
+* **Bounds checking** (§3.1 item 3): every buffer access, window bound, and
+  allocation extent is statically proven in-bounds / positive, under the
+  procedure's assertions and the enclosing control-flow facts.  This gives
+  memory safety with zero dynamic checks.
+
+* **Assertion checking** (§3.1 item 6): every call site is proven to satisfy
+  the callee's asserted preconditions, using the configuration dataflow to
+  resolve config-field reads (so ``assert Config.src_stride == stride(src,
+  0)`` is provable right after the corresponding config write).
+"""
+
+from __future__ import annotations
+
+from ..smt import terms as S
+from ..smt.solver import DEFAULT_SOLVER
+from . import ast as IR
+from . import types as T
+from .buffers import TypeEnv
+from .dataflow import GlobalState, Walker, _StrideEnv, _actual_stride, lower_ctrl
+from .ir2smt import lower_expr, proc_assumptions
+from .prelude import BoundsCheckError, Sym
+
+
+def _prove(assumptions, goal, solver=None):
+    solver = solver or DEFAULT_SOLVER
+    return solver.prove(S.implies(S.conj(*assumptions), goal))
+
+
+def bounds_check(proc: IR.Proc, solver=None):
+    """Prove every access in ``proc`` in-bounds; raise on failure."""
+    base = proc_assumptions(proc)
+    errors = []
+
+    def check(goal, facts, what, srcinfo):
+        if not _prove(base + facts, goal, solver):
+            errors.append(f"{srcinfo}: cannot prove {what}")
+
+    def check_idx(name, idx_terms, shape, facts, srcinfo, tenv, state):
+        for i_t, extent in zip(idx_terms, shape):
+            ext_t = lower_ctrl(extent, tenv, state)
+            ok = S.conj(S.ge(i_t, S.IntC(0)), S.lt(i_t, ext_t))
+            check(ok, facts, f"access to {name} in bounds", srcinfo)
+
+    def check_expr(e, facts, tenv, state):
+        for sub in IR.walk_exprs(e):
+            if isinstance(sub, IR.Read) and sub.idx:
+                typ = tenv.type_of(sub.name)
+                idx_terms = [lower_ctrl(i, tenv, state) for i in sub.idx]
+                check_idx(
+                    sub.name, idx_terms, typ.shape(), facts, sub.srcinfo, tenv, state
+                )
+            elif isinstance(sub, IR.WindowExpr):
+                typ = tenv.type_of(sub.name)
+                for w, extent in zip(sub.idx, typ.shape()):
+                    ext_t = lower_ctrl(extent, tenv, state)
+                    if isinstance(w, IR.Interval):
+                        lo = lower_ctrl(w.lo, tenv, state)
+                        hi = lower_ctrl(w.hi, tenv, state)
+                        ok = S.conj(
+                            S.ge(lo, S.IntC(0)), S.le(lo, hi), S.le(hi, ext_t)
+                        )
+                        check(ok, facts, f"window of {sub.name} in bounds", sub.srcinfo)
+                    else:
+                        pt = lower_ctrl(w.pt, tenv, state)
+                        ok = S.conj(S.ge(pt, S.IntC(0)), S.lt(pt, ext_t))
+                        check(ok, facts, f"window of {sub.name} in bounds", sub.srcinfo)
+
+    def visit(s, _path, facts, state, tenv):
+        for e in IR.stmt_exprs(s):
+            check_expr(e, facts, tenv, state)
+        if isinstance(s, (IR.Assign, IR.Reduce)) and s.idx:
+            typ = tenv.type_of(s.name)
+            idx_terms = [lower_ctrl(i, tenv, state) for i in s.idx]
+            check_idx(s.name, idx_terms, typ.shape(), facts, s.srcinfo, tenv, state)
+        if isinstance(s, IR.Alloc) and s.type.is_tensor_or_window():
+            for h in s.type.shape():
+                check(
+                    S.ge(lower_ctrl(h, tenv, state), S.IntC(1)),
+                    facts,
+                    f"allocation extent of {s.name} positive",
+                    s.srcinfo,
+                )
+
+    Walker(proc, visit).run()
+    if errors:
+        raise BoundsCheckError("\n".join(errors))
+
+
+def assert_check(proc: IR.Proc, solver=None):
+    """Prove every call's preconditions; raise on failure."""
+    base = proc_assumptions(proc)
+    errors = []
+
+    def visit(s, _path, facts, state, tenv):
+        if not isinstance(s, IR.Call):
+            return
+        callee = s.proc
+        sub = {}
+        stride_extra = {}
+        shape_goals = []
+        for formal, actual in zip(callee.args, s.args):
+            if formal.type.is_numeric():
+                if formal.type.is_tensor_or_window():
+                    rank = len(formal.type.shape())
+                    for d in range(rank):
+                        stride_extra[(formal.name, d)] = _actual_stride(
+                            actual, d, tenv
+                        )
+                    # callee's declared extents must equal the actual extents
+                    for d, formal_ext in enumerate(formal.type.shape()):
+                        act_ext = _actual_extent(actual, d, tenv, state)
+                        if act_ext is None:
+                            continue
+                        fe = S.substitute(
+                            state.subst_term(lower_expr(formal_ext)), sub
+                        )
+                        shape_goals.append(
+                            (S.eq(fe, act_ext), f"extent {d} of {formal.name}")
+                        )
+            else:
+                sub[formal.name] = lower_ctrl(actual, tenv, state)
+                if formal.type.is_sizeable():
+                    shape_goals.append(
+                        (
+                            S.ge(sub[formal.name], S.IntC(1)),
+                            f"size argument {formal.name} positive",
+                        )
+                    )
+        for goal, what in shape_goals:
+            if not _prove(base + facts, goal, solver):
+                errors.append(
+                    f"{s.srcinfo}: call to {callee.name}: cannot prove {what}"
+                )
+        for pred in callee.preds:
+            t = lower_expr(pred, _StrideEnv(TypeEnv(callee), stride_extra))
+            t = S.substitute(t, sub)
+            t = state.subst_term(t)
+            if not _prove(base + facts, t, solver):
+                errors.append(
+                    f"{s.srcinfo}: call to {callee.name}: cannot prove "
+                    f"precondition"
+                )
+
+    Walker(proc, visit).run()
+    if errors:
+        raise BoundsCheckError("\n".join(errors))
+
+
+def _actual_extent(actual, d, tenv, state):
+    """SMT term for dimension ``d``'s extent of a buffer argument."""
+    if isinstance(actual, IR.Read) and not actual.idx:
+        typ = tenv.type_of(actual.name)
+        return lower_ctrl(typ.shape()[d], tenv, state)
+    if isinstance(actual, IR.WindowExpr):
+        ivs = [w for w in actual.idx if isinstance(w, IR.Interval)]
+        w = ivs[d]
+        return S.sub(lower_ctrl(w.hi, tenv, state), lower_ctrl(w.lo, tenv, state))
+    return None
+
+
+def check_proc(proc: IR.Proc, solver=None):
+    """Run both back-to-back (the standard front-end pipeline)."""
+    bounds_check(proc, solver)
+    assert_check(proc, solver)

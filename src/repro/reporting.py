@@ -1,0 +1,46 @@
+"""Plain-text tables and series for the benchmark harness.
+
+Each benchmark prints the same rows/series as the corresponding paper
+figure, so paper-vs-measured comparisons (EXPERIMENTS.md) can be read off
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def table(title: str, headers: Sequence[str], rows: List[Sequence]) -> str:
+    cols = len(headers)
+    widths = [len(str(h)) for h in headers]
+    srows = []
+    for row in rows:
+        srow = [_fmt(c) for c in row]
+        srows.append(srow)
+        for i in range(cols):
+            widths[i] = max(widths[i], len(srow[i]))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for srow in srows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(srow, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(c) -> str:
+    if isinstance(c, float):
+        return f"{c:.2f}"
+    return str(c)
+
+
+def series(title: str, xlabel: str, ylabel: str, points: dict) -> str:
+    """Render one-or-more named (x, y) series as aligned text columns."""
+    lines = [title, "=" * len(title)]
+    names = list(points)
+    xs = [x for x, _y in points[names[0]]]
+    headers = [xlabel] + [f"{n} ({ylabel})" for n in names]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [points[n][i][1] for n in names])
+    return table(title, headers, rows)

@@ -1,0 +1,63 @@
+"""Provenance tracking: the lattice of equivalences modulo config (§3.3, §6).
+
+Every :class:`~repro.api.Procedure` is a node in a derivation forest.  An
+edge to its parent is labeled with the set of config fields the deriving
+rewrite *polluted* -- the two procedures are equivalent modulo that set
+(Definition 4.2).  ``call_eqv`` may swap a call from ``f`` to ``f'`` exactly
+when both descend from a common root; the pollution of the swap is the
+union of edge labels along the path ``f .. root .. f'``, which the §6.2
+context condition then validates at the call site.
+"""
+
+from __future__ import annotations
+
+from ..core.prelude import SchedulingError
+
+
+class EqvNode:
+    def __init__(self, parent=None, pollution=frozenset()):
+        self.parent = parent
+        self.pollution = frozenset(pollution)
+
+    def root(self):
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def path_to_root(self):
+        out = []
+        node = self
+        while node.parent is not None:
+            out.append(node)
+            node = node.parent
+        return out, node
+
+
+def eqv_pollution(a: EqvNode, b: EqvNode) -> frozenset:
+    """The config fields modulo which two derived procedures are equivalent.
+
+    Raises if the procedures do not share a derivation root."""
+    _path_a, root_a = a.path_to_root()
+    _path_b, root_b = b.path_to_root()
+    if root_a is not root_b:
+        raise SchedulingError(
+            "call_eqv: the procedures are not derived from a common original"
+        )
+    # pollution along the unique path a..lca..b
+    ancestors_a = []
+    node = a
+    while node is not None:
+        ancestors_a.append(node)
+        node = node.parent
+    ids_a = {id(n): i for i, n in enumerate(ancestors_a)}
+    node = b
+    pollution = set()
+    while node is not None and id(node) not in ids_a:
+        pollution |= node.pollution
+        node = node.parent
+    if node is None:
+        raise SchedulingError("call_eqv: derivation trees are inconsistent")
+    for n in ancestors_a[: ids_a[id(node)]]:
+        pollution |= n.pollution
+    return frozenset(pollution)

@@ -1,0 +1,991 @@
+"""The primitive scheduling operators (Fig. 2).
+
+Every operator is an independent rewrite ``proc -> proc'`` paired with its
+own safety condition (checked through :mod:`repro.effects.api`).  Operators
+return ``(new_proc, polluted_fields)``: a non-empty pollution set records
+that the result is equivalent to the input only *modulo* those config
+fields (Definition 4.2), which the provenance system tracks.
+
+The caller (:class:`repro.api.Procedure`) re-runs type checking and the
+front-end safety checks after every rewrite, so operators here may rely on
+well-typedness of their inputs and need not re-establish expression types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+
+from ..core import ast as IR
+from ..core import types as T
+from ..core.prelude import SchedulingError, Sym
+from ..effects import api as EA
+from ..effects.effects import EffectExtractor
+from .pattern import StmtMatch, find_expr, find_stmt, get_expr, replace_expr_at
+from .simplify import simplify_expr
+
+NO_POLLUTION = frozenset()
+
+
+def _the_loop(proc, match: StmtMatch, what) -> IR.For:
+    s = IR.get_stmt(proc, match.path)
+    if not isinstance(s, IR.For):
+        raise SchedulingError(f"{what}: pattern must match a for-loop")
+    return s
+
+
+def _c(v: int) -> IR.Const:
+    return IR.Const(v, T.int_t)
+
+
+def _read(sym: Sym) -> IR.Read:
+    return IR.Read(sym, (), T.index_t)
+
+
+# ---------------------------------------------------------------------------
+# Loop structure
+# ---------------------------------------------------------------------------
+
+
+def split(proc, match: StmtMatch, quot: int, hi_name: str, lo_name: str,
+          tail: str = "guard"):
+    """``for i in seq(0, N)`` -> a ``quot``-wide two-level nest.
+
+    ``tail``: 'perfect' proves ``quot | N``; 'guard' wraps the body in a
+    bounds guard; 'cut' emits a separate remainder loop.
+    """
+    loop = _the_loop(proc, match, "split")
+    if not (isinstance(loop.lo, IR.Const) and loop.lo.val == 0):
+        raise SchedulingError("split: loop must start at 0")
+    if quot <= 1:
+        raise SchedulingError("split: factor must be > 1")
+    hi_sym, lo_sym = Sym(hi_name), Sym(lo_name)
+    point = IR.BinOp(
+        "+",
+        IR.BinOp("*", _c(quot), _read(hi_sym), T.index_t),
+        _read(lo_sym),
+        T.index_t,
+    )
+    body = IR.subst_stmts({loop.iter: point}, loop.body)
+    n = loop.hi
+    if tail == "perfect":
+        EA.check_condition(
+            proc,
+            match.path,
+            IR.BinOp("==", IR.BinOp("%", n, _c(quot), T.index_t), _c(0), T.bool_t),
+            "split(perfect): trip count not divisible by factor",
+        )
+        inner = IR.For(lo_sym, _c(0), _c(quot), body, loop.srcinfo)
+        outer = IR.For(
+            hi_sym, _c(0), IR.BinOp("/", n, _c(quot), T.index_t), (inner,),
+            loop.srcinfo,
+        )
+        return IR.replace_stmt(proc, match.path, [outer]), NO_POLLUTION
+    if tail == "guard":
+        guard = IR.If(
+            IR.BinOp("<", point, n, T.bool_t), body, (), loop.srcinfo
+        )
+        inner = IR.For(lo_sym, _c(0), _c(quot), (guard,), loop.srcinfo)
+        ceil = IR.BinOp(
+            "/",
+            IR.BinOp("+", n, _c(quot - 1), T.index_t),
+            _c(quot),
+            T.index_t,
+        )
+        outer = IR.For(hi_sym, _c(0), ceil, (inner,), loop.srcinfo)
+        return IR.replace_stmt(proc, match.path, [outer]), NO_POLLUTION
+    if tail == "cut":
+        main_trips = IR.BinOp("/", n, _c(quot), T.index_t)
+        inner = IR.For(lo_sym, _c(0), _c(quot), body, loop.srcinfo)
+        outer = IR.For(hi_sym, _c(0), main_trips, (inner,), loop.srcinfo)
+        tail_sym = Sym(lo_name + "t")
+        tail_point = IR.BinOp(
+            "+",
+            IR.BinOp("*", _c(quot), main_trips, T.index_t),
+            _read(tail_sym),
+            T.index_t,
+        )
+        tail_body = IR.alpha_rename(
+            IR.subst_stmts({loop.iter: tail_point}, loop.body)
+        )
+        tail_count = IR.BinOp("%", n, _c(quot), T.index_t)
+        tail_loop = IR.For(tail_sym, _c(0), tail_count, tail_body, loop.srcinfo)
+        return (
+            IR.replace_stmt(proc, match.path, [outer, tail_loop]),
+            NO_POLLUTION,
+        )
+    raise SchedulingError(f"split: unknown tail strategy {tail!r}")
+
+
+def reorder_loops(proc, match: StmtMatch):
+    """Swap two perfectly nested loops (§5.8 reorder condition)."""
+    outer = _the_loop(proc, match, "reorder")
+    if not (len(outer.body) == 1 and isinstance(outer.body[0], IR.For)):
+        raise SchedulingError("reorder: loops are not perfectly nested")
+    EA.check_reorder_loops(proc, match.path)
+    inner = outer.body[0]
+    new_inner = dc_replace(outer, body=inner.body)
+    new_outer = dc_replace(inner, body=(new_inner,))
+    return IR.replace_stmt(proc, match.path, [new_outer]), NO_POLLUTION
+
+
+def unroll(proc, match: StmtMatch):
+    """Fully unroll a constant-bound loop."""
+    loop = _the_loop(proc, match, "unroll")
+    lo, hi = simplify_expr(loop.lo), simplify_expr(loop.hi)
+    if not (isinstance(lo, IR.Const) and isinstance(hi, IR.Const)):
+        raise SchedulingError("unroll: loop bounds must be constant")
+    copies = []
+    for v in range(lo.val, hi.val):
+        body = IR.subst_stmts({loop.iter: _c(v)}, loop.body)
+        copies.extend(IR.alpha_rename(body))
+    return IR.replace_stmt(proc, match.path, copies), NO_POLLUTION
+
+
+def partition_loop(proc, match: StmtMatch, cut: int):
+    """``for i in lo,hi`` -> ``for i in lo,lo+cut ; for i in lo+cut,hi``."""
+    loop = _the_loop(proc, match, "partition_loop")
+    cut_pt = simplify_expr(IR.BinOp("+", loop.lo, _c(cut), T.index_t))
+    EA.check_condition(
+        proc,
+        match.path,
+        IR.BinOp("<=", cut_pt, loop.hi, T.bool_t),
+        "partition_loop: cut point exceeds loop bound",
+    )
+    first = dc_replace(loop, hi=cut_pt)
+    it2 = loop.iter.copy()
+    second = IR.For(
+        it2,
+        cut_pt,
+        loop.hi,
+        IR.alpha_rename(IR.subst_stmts({loop.iter: _read(it2)}, loop.body)),
+        loop.srcinfo,
+    )
+    return IR.replace_stmt(proc, match.path, [first, second]), NO_POLLUTION
+
+
+def remove_loop(proc, match: StmtMatch):
+    """``for i: s`` -> ``s`` when s is idempotent and runs >= once (§5.8)."""
+    loop = _the_loop(proc, match, "remove_loop")
+    EA.check_remove_loop(proc, match.path)
+    return IR.replace_stmt(proc, match.path, list(loop.body)), NO_POLLUTION
+
+
+def fuse_loops(proc, match: StmtMatch):
+    """Fuse two adjacent loops with identical bounds."""
+    loop1 = _the_loop(proc, match, "fuse_loop")
+    fld, idx = match.path[-1]
+    block = EA._block_at(proc, match.path)
+    if idx + 1 >= len(block) or not isinstance(block[idx + 1], IR.For):
+        raise SchedulingError("fuse_loop: no adjacent loop to fuse with")
+    loop2 = block[idx + 1]
+    for a, b, what in ((loop1.lo, loop2.lo, "lower"), (loop1.hi, loop2.hi, "upper")):
+        EA.check_condition(
+            proc, match.path, IR.BinOp("==", a, b, T.bool_t),
+            f"fuse_loop: {what} bounds differ",
+        )
+    body2 = IR.alpha_rename(
+        IR.subst_stmts({loop2.iter: _read(loop1.iter)}, loop2.body)
+    )
+    fused = dc_replace(loop1, body=loop1.body + body2)
+    new_proc = IR.replace_block(proc, match.path, 2, [fused])
+    EA.check_fission(new_proc, match.path, len(loop1.body), what="fuse_loop")
+    return new_proc, NO_POLLUTION
+
+
+def fission_after(proc, match: StmtMatch, n_lifts: int = 1):
+    """Split enclosing loops after the matched statement (§5.8 fission)."""
+    path = list(match.path)
+    end_idx = path[-1][1] + match.count - 1
+    path[-1] = (path[-1][0], end_idx)
+    for _ in range(n_lifts):
+        if len(path) < 2:
+            raise SchedulingError("fission_after: no enclosing loop to fission")
+        loop_path = tuple(path[:-1])
+        loop = IR.get_stmt(proc, loop_path)
+        if not isinstance(loop, IR.For):
+            raise SchedulingError(
+                "fission_after: enclosing statement is not a for-loop "
+                "(fission through if-statements is not supported)"
+            )
+        split_idx = path[-1][1] + 1
+        if split_idx >= len(loop.body):
+            path = list(loop_path)
+            continue
+        pre_allocs = {
+            s.name
+            for s in loop.body[:split_idx]
+            if isinstance(s, (IR.Alloc, IR.WindowStmt))
+        }
+        if pre_allocs & IR.free_vars(loop.body[split_idx:]):
+            raise SchedulingError(
+                "fission_after: the second half uses a buffer allocated in "
+                "the first half (lift the allocation out of the loop first)"
+            )
+        EA.check_fission(proc, loop_path, split_idx)
+        pre = loop.body[:split_idx]
+        post = loop.body[split_idx:]
+        it2 = loop.iter.copy()
+        post = IR.alpha_rename(
+            IR.subst_stmts({loop.iter: _read(it2)}, post)
+        )
+        first = dc_replace(loop, body=pre)
+        second = IR.For(it2, loop.lo, loop.hi, post, loop.srcinfo)
+        proc = IR.replace_stmt(proc, loop_path, [first, second])
+        path = list(loop_path)
+    return proc, NO_POLLUTION
+
+
+def lift_if(proc, match: StmtMatch):
+    """``for i: if c: s`` -> ``if c: for i: s`` (c independent of i)."""
+    loop = _the_loop(proc, match, "lift_if")
+    if not (len(loop.body) == 1 and isinstance(loop.body[0], IR.If)):
+        raise SchedulingError("lift_if: loop body must be a single if")
+    guard = loop.body[0]
+    if loop.iter in IR.expr_reads(guard.cond):
+        raise SchedulingError("lift_if: condition depends on the loop iterator")
+    new_then = dc_replace(loop, body=guard.body)
+    new_else = ()
+    if guard.orelse:
+        it2 = loop.iter.copy()
+        new_else = (
+            IR.For(
+                it2,
+                loop.lo,
+                loop.hi,
+                IR.alpha_rename(
+                    IR.subst_stmts({loop.iter: _read(it2)}, guard.orelse)
+                ),
+                loop.srcinfo,
+            ),
+        )
+    lifted = IR.If(guard.cond, (new_then,), new_else, guard.srcinfo)
+    return IR.replace_stmt(proc, match.path, [lifted]), NO_POLLUTION
+
+
+def add_guard(proc, match: StmtMatch, cond: IR.Expr):
+    """``s`` -> ``if e: s`` where ``e`` provably holds whenever s runs."""
+    EA.check_condition(proc, match.path, cond, "add_guard")
+    block = EA._block_at(proc, match.path)
+    idx = match.path[-1][1]
+    stmts = list(block[idx : idx + match.count])
+    guard = IR.If(cond, tuple(stmts), (), stmts[0].srcinfo)
+    return (
+        IR.replace_block(proc, match.path, match.count, [guard]),
+        NO_POLLUTION,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Statements & allocation
+# ---------------------------------------------------------------------------
+
+
+def reorder_stmts(proc, match: StmtMatch):
+    """Swap the matched block with the statement that follows it."""
+    block = EA._block_at(proc, match.path)
+    idx = match.path[-1][1]
+    if idx + match.count >= len(block):
+        raise SchedulingError("reorder_stmts: nothing follows the matched block")
+    EA.check_reorder_stmts(proc, match.path, match.count, 1)
+    stmts = list(block[idx : idx + match.count])
+    nxt = block[idx + match.count]
+    return (
+        IR.replace_block(proc, match.path, match.count + 1, [nxt] + stmts),
+        NO_POLLUTION,
+    )
+
+
+def lift_alloc(proc, match: StmtMatch, n_lifts: int = 1):
+    """Hoist an allocation out of enclosing loops/ifs (Fig. 2 lift_alloc)."""
+    alloc = IR.get_stmt(proc, match.path)
+    if not isinstance(alloc, IR.Alloc):
+        raise SchedulingError("lift_alloc: pattern must match an allocation")
+    path = list(match.path)
+    for _ in range(n_lifts):
+        if len(path) < 2:
+            raise SchedulingError("lift_alloc: no enclosing statement to lift out of")
+        # the allocation's extents must not depend on enclosing binders
+        parent_path = tuple(path[:-1])
+        parent = IR.get_stmt(proc, parent_path)
+        if isinstance(parent, IR.For):
+            for h in alloc.type.shape():
+                if parent.iter in IR.expr_reads(h):
+                    raise SchedulingError(
+                        "lift_alloc: allocation size depends on the loop iterator"
+                    )
+        proc = IR.replace_stmt(proc, tuple(path), [])
+        proc = _insert_before(proc, parent_path, [alloc])
+        path = list(parent_path)
+    return proc, NO_POLLUTION
+
+
+def _insert_before(proc, path, stmts):
+    target = IR.get_stmt(proc, path)
+    return IR.replace_stmt(proc, path, list(stmts) + [target])
+
+
+def expand_dim(proc, match: StmtMatch, extent: IR.Expr, index: IR.Expr):
+    """Give a per-iteration allocation one more dimension (Exo expand_dim):
+    ``a : R`` inside a loop becomes ``a : R[extent]`` with every access
+    indexed by ``index`` -- the enabling step before ``lift_alloc`` turns a
+    loop-private scalar into a staged tile."""
+    alloc = IR.get_stmt(proc, match.path)
+    if not isinstance(alloc, IR.Alloc):
+        raise SchedulingError("expand_dim: pattern must match an allocation")
+    old_typ = alloc.type
+    base = old_typ.basetype()
+    new_shape = (extent,) + tuple(old_typ.shape())
+    new_typ = T.Tensor(base, new_shape, False)
+    new_alloc = dc_replace(alloc, type=new_typ)
+    name = alloc.name
+
+    def fix_expr(e):
+        def fn(node):
+            if isinstance(node, IR.Read) and node.name is name:
+                return dc_replace(node, idx=(index,) + node.idx)
+            if isinstance(node, IR.WindowExpr) and node.name is name:
+                raise SchedulingError(
+                    "expand_dim: windows of the expanded buffer are not supported"
+                )
+            return node
+
+        return IR.map_expr(fn, e)
+
+    def fix_block(stmts):
+        out = []
+        for s in stmts:
+            if isinstance(s, (IR.Assign, IR.Reduce)):
+                idx = tuple(fix_expr(i) for i in s.idx)
+                if s.name is name:
+                    idx = (index,) + idx
+                out.append(dc_replace(s, idx=idx, rhs=fix_expr(s.rhs)))
+            elif isinstance(s, IR.WriteConfig):
+                out.append(dc_replace(s, rhs=fix_expr(s.rhs)))
+            elif isinstance(s, IR.If):
+                out.append(
+                    dc_replace(
+                        s, cond=fix_expr(s.cond), body=fix_block(s.body),
+                        orelse=fix_block(s.orelse),
+                    )
+                )
+            elif isinstance(s, IR.For):
+                out.append(
+                    dc_replace(
+                        s, lo=fix_expr(s.lo), hi=fix_expr(s.hi),
+                        body=fix_block(s.body),
+                    )
+                )
+            elif isinstance(s, IR.Call):
+                out.append(
+                    dc_replace(s, args=tuple(fix_expr(a) for a in s.args))
+                )
+            elif isinstance(s, IR.WindowStmt):
+                if s.rhs.name is name:
+                    raise SchedulingError(
+                        "expand_dim: windows of the expanded buffer are not supported"
+                    )
+                out.append(s)
+            else:
+                out.append(s)
+        return tuple(out)
+
+    # rewrite the rest of the enclosing block after the allocation
+    block = EA._block_at(proc, match.path)
+    idx0 = match.path[-1][1]
+    rest = fix_block(block[idx0 + 1 :])
+    new_stmts = [new_alloc] + list(rest)
+    return (
+        IR.replace_block(proc, match.path, len(block) - idx0, new_stmts),
+        NO_POLLUTION,
+    )
+
+
+def delete_pass(proc):
+    """Remove all Pass statements (keeping bodies non-empty)."""
+
+    def clean(block):
+        out = []
+        for s in block:
+            if isinstance(s, IR.Pass):
+                continue
+            if isinstance(s, IR.If):
+                s = dc_replace(s, body=clean(s.body) or (IR.Pass(),),
+                               orelse=clean(s.orelse))
+            elif isinstance(s, IR.For):
+                s = dc_replace(s, body=clean(s.body) or (IR.Pass(),))
+            out.append(s)
+        return tuple(out)
+
+    body = clean(proc.body) or (IR.Pass(),)
+    return dc_replace(proc, body=body), NO_POLLUTION
+
+
+# ---------------------------------------------------------------------------
+# Memory, precision, binding
+# ---------------------------------------------------------------------------
+
+
+def set_memory(proc, name: str, mem):
+    """Change the memory annotation of an allocation or argument."""
+    for prefix_path, s in _walk_with_paths(proc):
+        if isinstance(s, IR.Alloc) and str(s.name) == name:
+            return (
+                IR.replace_stmt(proc, prefix_path, [dc_replace(s, mem=mem)]),
+                NO_POLLUTION,
+            )
+    new_args = []
+    hit = False
+    for a in proc.args:
+        if str(a.name) == name:
+            a = dc_replace(a, mem=mem)
+            hit = True
+        new_args.append(a)
+    if not hit:
+        raise SchedulingError(f"set_memory: no allocation or argument {name!r}")
+    return dc_replace(proc, args=tuple(new_args)), NO_POLLUTION
+
+
+def set_precision(proc, name: str, typ: T.Type):
+    """Specialize the scalar precision of a buffer (R -> f32 etc.)."""
+    if not typ.is_real_scalar():
+        raise SchedulingError("set_precision: target type must be a scalar type")
+
+    def retype(t):
+        if t.is_tensor_or_window():
+            return T.Tensor(typ, t.hi, t.is_win())
+        return typ
+
+    for prefix_path, s in _walk_with_paths(proc):
+        if isinstance(s, IR.Alloc) and str(s.name) == name:
+            return (
+                IR.replace_stmt(
+                    proc, prefix_path, [dc_replace(s, type=retype(s.type))]
+                ),
+                NO_POLLUTION,
+            )
+    new_args = []
+    hit = False
+    for a in proc.args:
+        if str(a.name) == name:
+            a = dc_replace(a, type=retype(a.type))
+            hit = True
+        new_args.append(a)
+    if not hit:
+        raise SchedulingError(f"set_precision: no allocation or argument {name!r}")
+    return dc_replace(proc, args=tuple(new_args)), NO_POLLUTION
+
+
+def _walk_with_paths(proc):
+    def go(prefix, block):
+        for i, s in enumerate(block):
+            here = prefix[:-1] + ((prefix[-1][0], i),)
+            yield here, s
+            for fld, sub in IR.sub_bodies(s):
+                yield from go(here + ((fld, None),), sub)
+
+    yield from go((("body", None),), proc.body)
+
+
+def bind_expr(proc, matches, new_name: str):
+    """``s[e]`` -> ``a' : R ; a' = e ; s[e -> a']`` (Fig. 2 bind_expr)."""
+    if not matches:
+        raise SchedulingError("bind_expr: no expression matched")
+    stmt_path = matches[0].path
+    if any(m.path != stmt_path for m in matches):
+        raise SchedulingError(
+            "bind_expr: all occurrences must be within one statement"
+        )
+    expr = matches[0].expr
+    if expr.type is None or not expr.type.is_real_scalar():
+        raise SchedulingError("bind_expr: only scalar data expressions can be bound")
+    sym = Sym(new_name)
+    stmt = IR.get_stmt(proc, stmt_path)
+    for m in matches:
+        stmt = replace_expr_at(stmt, m.expr_path, IR.Read(sym, (), expr.type))
+    alloc = IR.Alloc(sym, expr.type, None, expr.srcinfo)
+    assign = IR.Assign(sym, (), expr, expr.srcinfo)
+    return (
+        IR.replace_stmt(proc, stmt_path, [alloc, assign, stmt]),
+        NO_POLLUTION,
+    )
+
+
+def bind_config(proc, match, config, field: str):
+    """``s[e]`` -> ``config.field = e ; s[e -> config.field]`` (Fig. 2)."""
+    ftyp = config.field_type(field)
+    expr = match.expr
+    if expr.type is None or expr.type.is_numeric():
+        raise SchedulingError("bind_config: only control expressions can be bound")
+    EA.check_config_pollution(proc, match.path, [_csym(config, field)])
+    stmt = IR.get_stmt(proc, match.path)
+    stmt = replace_expr_at(
+        stmt, match.expr_path, IR.ReadConfig(config, field, ftyp, expr.srcinfo)
+    )
+    wc = IR.WriteConfig(config, field, expr, expr.srcinfo)
+    return (
+        IR.replace_stmt(proc, match.path, [wc, stmt]),
+        frozenset([_csym(config, field)]),
+    )
+
+
+def _csym(config, field):
+    from ..core.ir2smt import config_sym
+
+    return config_sym(config, field)
+
+
+def configwrite_after(proc, match: StmtMatch, config, field: str, rhs: IR.Expr):
+    """``s`` -> ``s ; config.field = e`` (§5.7 "new config write")."""
+    EA.check_config_pollution(
+        proc,
+        (match.path[:-1] + ((match.path[-1][0], match.path[-1][1] + match.count - 1),)),
+        [_csym(config, field)],
+    )
+    stmt = IR.get_stmt(proc, match.path)
+    wc = IR.WriteConfig(config, field, rhs, stmt.srcinfo)
+    block = EA._block_at(proc, match.path)
+    idx = match.path[-1][1]
+    stmts = list(block[idx : idx + match.count]) + [wc]
+    return (
+        IR.replace_block(proc, match.path, match.count, stmts),
+        frozenset([_csym(config, field)]),
+    )
+
+
+def configwrite_root(proc, config, field: str, rhs: IR.Expr):
+    """Insert ``config.field = e`` at the start of the procedure."""
+    wc = IR.WriteConfig(config, field, rhs, proc.srcinfo)
+    new_proc = dc_replace(proc, body=(wc,) + proc.body)
+    # the *original* body is the post-context of the inserted write
+    EA.check_config_pollution(new_proc, (("body", 0),), [_csym(config, field)])
+    return new_proc, frozenset([_csym(config, field)])
+
+
+# ---------------------------------------------------------------------------
+# Staging
+# ---------------------------------------------------------------------------
+
+
+def stage_mem(proc, match: StmtMatch, window: IR.WindowExpr, new_name: str,
+              init_zero: bool = False):
+    """Stage a window of a buffer through a new buffer around a block.
+
+    Inserts ``new = buf[window]`` copy-in loops before the block and
+    copy-out loops after it (as the block's reads/writes require),
+    rewriting all accesses inside the block.  The effect analysis proves
+    the block touches ``buf`` only within the window.
+    """
+    buf = window.name
+    ctx = EA.Ctx(proc, match.path)
+    view = ctx.tenv.view(buf)
+    if view.root is not buf:
+        raise SchedulingError("stage_mem: buffer must be an argument or allocation")
+    buf_typ = ctx.tenv.type_of(buf)
+    rank = len(buf_typ.shape())
+    if len(window.idx) != rank:
+        raise SchedulingError(
+            f"stage_mem: window must give all {rank} coordinates of {buf}"
+        )
+    # compute the box and the new buffer's shape
+    box = []
+    shape = []
+    offs = []
+    ex = ctx.extractor()
+    for w in window.idx:
+        if isinstance(w, IR.Interval):
+            lo_t, hi_t = ex._ctrl(w.lo), ex._ctrl(w.hi)
+            box.append((lo_t, hi_t))
+            shape.append(
+                simplify_expr(IR.BinOp("-", w.hi, w.lo, T.index_t))
+            )
+            offs.append(w.lo)
+        else:
+            pt = ex._ctrl(w.pt)
+            box.append((pt, S.add(pt, S.IntC(1)) if False else _succ(pt)))
+            offs.append(w.pt)
+            shape.append(None)
+    block = list(
+        EA._block_at(proc, match.path)[
+            match.path[-1][1] : match.path[-1][1] + match.count
+        ]
+    )
+    eff = ex.block_effect(block)
+    EA.check_contained(ctx, eff, buf, rank, box, "stage_mem")
+    reads, writes = _access_kinds(eff, buf)
+
+    sym = Sym(new_name)
+    iv_shape = [h for h in shape if h is not None]
+    new_typ = (
+        T.Tensor(buf_typ.basetype(), tuple(iv_shape), False)
+        if iv_shape
+        else buf_typ.basetype()
+    )
+    alloc = IR.Alloc(sym, new_typ, None, window.srcinfo)
+
+    def copy_loops(store: bool):
+        iters = [Sym(f"i{d}") for d in range(len(iv_shape))]
+        src_idx = []
+        k = 0
+        for w, off in zip(window.idx, offs):
+            if isinstance(w, IR.Interval):
+                src_idx.append(
+                    simplify_expr(
+                        IR.BinOp("+", off, _read(iters[k]), T.index_t)
+                    )
+                )
+                k += 1
+            else:
+                src_idx.append(off)
+        dst_idx = tuple(_read(it) for it in iters)
+        if store:
+            inner = IR.Assign(
+                buf, tuple(src_idx), IR.Read(sym, dst_idx, new_typ.basetype()),
+                window.srcinfo,
+            )
+        else:
+            inner = IR.Assign(
+                sym, dst_idx, IR.Read(buf, tuple(src_idx), buf_typ.basetype()),
+                window.srcinfo,
+            )
+        out = inner
+        for it, extent in zip(reversed(iters), reversed(iv_shape)):
+            out = IR.For(it, _c(0), extent, (out,), window.srcinfo)
+        return out
+
+    # rewrite accesses within the block
+    new_block = _rewrite_accesses(block, buf, sym, window.idx)
+    stmts = [alloc]
+    if reads or (writes and not _covers(ctx, eff, buf, rank, box)) or init_zero:
+        stmts.append(copy_loops(store=False))
+    stmts.extend(new_block)
+    if writes:
+        stmts.append(copy_loops(store=True))
+    return (
+        IR.replace_block(proc, match.path, match.count, stmts),
+        NO_POLLUTION,
+    )
+
+
+def _succ(t):
+    from ..smt import terms as S
+
+    return S.add(t, S.IntC(1))
+
+
+def _access_kinds(eff, buf):
+    from ..effects.effects import ERead, EReduce, ESeq, EGuard, ELoop, EWrite
+
+    reads = False
+    writes = False
+
+    def walk(e):
+        nonlocal reads, writes
+        if isinstance(e, ERead) and e.buf is buf:
+            reads = True
+        elif isinstance(e, EWrite) and e.buf is buf:
+            writes = True
+        elif isinstance(e, EReduce) and e.buf is buf:
+            reads = True
+            writes = True
+        elif isinstance(e, ESeq):
+            for p in e.parts:
+                walk(p)
+        elif isinstance(e, (EGuard, ELoop)):
+            walk(e.body)
+
+    walk(eff)
+    return reads, writes
+
+
+def _covers(ctx, eff, buf, rank, box) -> bool:
+    """Does the block definitely write the whole box? (if so, no copy-in is
+    needed even when the block writes the buffer)"""
+    from ..effects.effects import mem
+    from ..smt import terms as S
+    from ..smt.solver import DEFAULT_SOLVER
+
+    p = EA._fresh_point(rank)
+    inside = S.conj(
+        *[S.conj(S.ge(pi, lo), S.lt(pi, hi)) for pi, (lo, hi) in zip(p, box)]
+    )
+    written = mem(eff, "w", buf, p)
+    goal = S.implies(S.conj(*ctx.assumptions), S.implies(inside, written))
+    return DEFAULT_SOLVER.prove(goal)
+
+
+def _rewrite_accesses(block, buf: Sym, new: Sym, widx):
+    """Rewrite accesses of ``buf`` into the staged buffer coordinates."""
+    offs = []
+    keep = []
+    for w in widx:
+        if isinstance(w, IR.Interval):
+            offs.append(w.lo)
+            keep.append(True)
+        else:
+            offs.append(None)
+            keep.append(False)
+
+    def fix_idx(idx):
+        out = []
+        for i, (off, k) in zip(idx, zip(offs, keep)):
+            if not k:
+                continue
+            out.append(simplify_expr(IR.BinOp("-", i, off, T.index_t)))
+        return tuple(out)
+
+    def fix_expr(e):
+        def fn(node):
+            if isinstance(node, IR.Read) and node.name is buf and node.idx:
+                return dc_replace(node, name=new, idx=fix_idx(node.idx))
+            return node
+
+        return IR.map_expr(fn, e)
+
+    def fix_block(stmts):
+        out = []
+        for s in stmts:
+            if isinstance(s, (IR.Assign, IR.Reduce)) and s.name is buf:
+                s = dc_replace(s, name=new, idx=fix_idx(s.idx), rhs=fix_expr(s.rhs))
+            elif isinstance(s, (IR.Assign, IR.Reduce)):
+                s = dc_replace(
+                    s,
+                    idx=tuple(fix_expr(i) for i in s.idx),
+                    rhs=fix_expr(s.rhs),
+                )
+            elif isinstance(s, IR.WriteConfig):
+                s = dc_replace(s, rhs=fix_expr(s.rhs))
+            elif isinstance(s, IR.If):
+                s = dc_replace(
+                    s,
+                    cond=fix_expr(s.cond),
+                    body=fix_block(s.body),
+                    orelse=fix_block(s.orelse),
+                )
+            elif isinstance(s, IR.For):
+                s = dc_replace(
+                    s, lo=fix_expr(s.lo), hi=fix_expr(s.hi), body=fix_block(s.body)
+                )
+            elif isinstance(s, IR.Call):
+                new_args = []
+                for a in s.args:
+                    if isinstance(a, IR.Read) and a.name is buf and not a.idx:
+                        raise SchedulingError(
+                            "stage_mem: cannot stage a buffer passed whole to a call"
+                        )
+                    if isinstance(a, IR.WindowExpr) and a.name is buf:
+                        new_widx = []
+                        k = 0
+                        for w, off, kp in zip(a.idx, offs, keep):
+                            if not kp:
+                                continue
+                            if isinstance(w, IR.Interval):
+                                new_widx.append(
+                                    IR.Interval(
+                                        simplify_expr(IR.BinOp("-", w.lo, off, T.index_t)),
+                                        simplify_expr(IR.BinOp("-", w.hi, off, T.index_t)),
+                                    )
+                                )
+                            else:
+                                new_widx.append(
+                                    IR.Point(
+                                        simplify_expr(IR.BinOp("-", w.pt, off, T.index_t))
+                                    )
+                                )
+                        a = dc_replace(a, name=new, idx=tuple(new_widx))
+                    else:
+                        a = fix_expr(a) if not isinstance(a, IR.WindowExpr) else a
+                    new_args.append(a)
+                s = dc_replace(s, args=tuple(new_args))
+            elif isinstance(s, IR.WindowStmt):
+                if s.rhs.name is buf:
+                    raise SchedulingError(
+                        "stage_mem: windows of the staged buffer inside the "
+                        "block are not supported"
+                    )
+            out.append(s)
+        return tuple(out)
+
+    return fix_block(block)
+
+
+# ---------------------------------------------------------------------------
+# Procedures: inline & call_eqv
+# ---------------------------------------------------------------------------
+
+
+def _win_compose_idx(wexpr: IR.WindowExpr, idx):
+    """Root-buffer indices of an access at window coordinates ``idx``."""
+    out = []
+    k = 0
+    for w in wexpr.idx:
+        if isinstance(w, IR.Interval):
+            out.append(
+                simplify_expr(IR.BinOp("+", w.lo, idx[k], T.index_t))
+            )
+            k += 1
+        else:
+            out.append(w.pt)
+    return tuple(out)
+
+
+def _win_compose_widx(wexpr: IR.WindowExpr, widx):
+    """Compose a window-of-a-window into a single window expression."""
+    out = []
+    k = 0
+    for w in wexpr.idx:
+        if isinstance(w, IR.Interval):
+            inner = widx[k]
+            k += 1
+            if isinstance(inner, IR.Interval):
+                out.append(
+                    IR.Interval(
+                        simplify_expr(IR.BinOp("+", w.lo, inner.lo, T.index_t)),
+                        simplify_expr(IR.BinOp("+", w.lo, inner.hi, T.index_t)),
+                    )
+                )
+            else:
+                out.append(
+                    IR.Point(
+                        simplify_expr(IR.BinOp("+", w.lo, inner.pt, T.index_t))
+                    )
+                )
+        else:
+            out.append(IR.Point(w.pt))
+    return IR.WindowExpr(wexpr.name, tuple(out), None, wexpr.srcinfo)
+
+
+def _win_root_dim(wexpr: IR.WindowExpr, out_dim: int) -> int:
+    k = 0
+    for d, w in enumerate(wexpr.idx):
+        if isinstance(w, IR.Interval):
+            if k == out_dim:
+                return d
+            k += 1
+    raise SchedulingError("window has no such dimension")
+
+
+def _subst_buffer_window(stmts, formal: Sym, wexpr: IR.WindowExpr):
+    """Substitute a window expression for a buffer formal throughout a block,
+    composing accesses (so no intermediate window binding is needed and
+    ``stride(formal, d)`` resolves to the root buffer's stride)."""
+
+    def fix_expr(e):
+        def fn(node):
+            if isinstance(node, IR.Read) and node.name is formal and node.idx:
+                return IR.Read(
+                    wexpr.name, _win_compose_idx(wexpr, list(node.idx)),
+                    node.type, node.srcinfo,
+                )
+            if isinstance(node, IR.WindowExpr) and node.name is formal:
+                return _win_compose_widx(wexpr, list(node.idx))
+            if isinstance(node, IR.StrideExpr) and node.name is formal:
+                return IR.StrideExpr(
+                    wexpr.name, _win_root_dim(wexpr, node.dim), node.type,
+                    node.srcinfo,
+                )
+            if isinstance(node, IR.Read) and node.name is formal:
+                return _win_compose_widx(
+                    wexpr,
+                    [IR.Interval(None, None)],
+                ) if False else node
+            return node
+
+        return IR.map_expr(fn, e)
+
+    def fix_block(block):
+        out = []
+        for s in block:
+            if isinstance(s, (IR.Assign, IR.Reduce)):
+                if s.name is formal:
+                    out.append(
+                        type(s)(
+                            wexpr.name,
+                            _win_compose_idx(wexpr, list(fix_expr(i) for i in s.idx)),
+                            fix_expr(s.rhs),
+                            s.srcinfo,
+                        )
+                    )
+                else:
+                    out.append(
+                        dc_replace(
+                            s,
+                            idx=tuple(fix_expr(i) for i in s.idx),
+                            rhs=fix_expr(s.rhs),
+                        )
+                    )
+            elif isinstance(s, IR.WriteConfig):
+                out.append(dc_replace(s, rhs=fix_expr(s.rhs)))
+            elif isinstance(s, IR.If):
+                out.append(
+                    dc_replace(s, cond=fix_expr(s.cond), body=fix_block(s.body),
+                               orelse=fix_block(s.orelse))
+                )
+            elif isinstance(s, IR.For):
+                out.append(
+                    dc_replace(s, lo=fix_expr(s.lo), hi=fix_expr(s.hi),
+                               body=fix_block(s.body))
+                )
+            elif isinstance(s, IR.Call):
+                new_args = []
+                for a in s.args:
+                    if isinstance(a, IR.Read) and a.name is formal and not a.idx:
+                        # pass the whole window through
+                        new_args.append(dc_replace(wexpr, srcinfo=a.srcinfo))
+                    else:
+                        new_args.append(fix_expr(a))
+                out.append(dc_replace(s, args=tuple(new_args)))
+            elif isinstance(s, IR.WindowStmt):
+                out.append(dc_replace(s, rhs=fix_expr(s.rhs)))
+            else:
+                out.append(s)
+        return tuple(out)
+
+    return fix_block(stmts)
+
+
+def inline_call(proc, match: StmtMatch):
+    """Inline a call site (Fig. 2 inline)."""
+    call = IR.get_stmt(proc, match.path)
+    if not isinstance(call, IR.Call):
+        raise SchedulingError("inline: pattern must match a call")
+    callee = call.proc
+    env = {}
+    windows = []
+    for formal, actual in zip(callee.args, call.args):
+        if formal.type.is_numeric() and not formal.type.is_real_scalar():
+            if isinstance(actual, IR.Read) and not actual.idx:
+                env[formal.name] = actual.name
+            elif isinstance(actual, IR.WindowExpr):
+                windows.append((formal.name, actual))
+            else:
+                raise SchedulingError("inline: unsupported buffer argument")
+        elif formal.type.is_real_scalar():
+            if isinstance(actual, IR.Read) and not actual.idx:
+                env[formal.name] = actual.name
+            else:
+                raise SchedulingError(
+                    "inline: scalar arguments must be variable names"
+                )
+        else:
+            env[formal.name] = actual
+    body = IR.subst_stmts(env, callee.body)
+    for formal, wexpr in windows:
+        body = _subst_buffer_window(body, formal, wexpr)
+    body = IR.alpha_rename(body)
+    return IR.replace_stmt(proc, match.path, list(body)), NO_POLLUTION
+
+
+def call_eqv(proc, match: StmtMatch, new_callee: IR.Proc, pollution: frozenset):
+    """Swap a call's target for an equivalent procedure (§3.3 call_eqv).
+
+    ``pollution`` is the set of config fields modulo which the two callees
+    are equivalent (computed by the provenance system); the §6.2 context
+    condition requires that no subsequent code reads those fields."""
+    call = IR.get_stmt(proc, match.path)
+    if not isinstance(call, IR.Call):
+        raise SchedulingError("call_eqv: pattern must match a call")
+    if len(call.proc.args) != len(new_callee.args):
+        raise SchedulingError("call_eqv: procedures have different signatures")
+    EA.check_config_pollution(proc, match.path, pollution)
+    new_call = dc_replace(call, proc=new_callee)
+    return IR.replace_stmt(proc, match.path, [new_call]), pollution

@@ -1,0 +1,253 @@
+"""IR simplification: constant folding and affine normalization.
+
+Scheduling rewrites (split, unroll, staging substitutions) leave index
+arithmetic like ``16*io + ii - 16*io`` behind.  This pass folds constants,
+cancels affine terms, prunes trivial guards, and keeps the generated C
+readable -- the paper's stated goal of "human-readable C" (§3.1.2) depends
+on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+
+from ..core import ast as IR
+from ..core import types as T
+
+
+def simplify_expr(e: IR.Expr) -> IR.Expr:
+    """Bottom-up constant folding + affine normalization of control exprs."""
+    e = IR.map_expr(_fold, e)
+    if e.type is not None and e.type.is_indexable():
+        lin = _linearize(e)
+        if lin is not None:
+            return _from_linear(lin, e)
+    return e
+
+
+def _fold(e: IR.Expr) -> IR.Expr:
+    if isinstance(e, IR.USub) and isinstance(e.arg, IR.Const):
+        return dc_replace(e.arg, val=-e.arg.val)
+    if not isinstance(e, IR.BinOp):
+        return e
+    l, r = e.lhs, e.rhs
+    lc = isinstance(l, IR.Const)
+    rc = isinstance(r, IR.Const)
+    if lc and rc and e.op in ("+", "-", "*", "/", "%"):
+        if e.op == "+":
+            v = l.val + r.val
+        elif e.op == "-":
+            v = l.val - r.val
+        elif e.op == "*":
+            v = l.val * r.val
+        elif e.op == "/":
+            v = l.val // r.val if _is_int(l, r) else l.val / r.val
+        else:
+            v = l.val % r.val
+        return IR.Const(v, e.type, e.srcinfo)
+    if lc and rc and e.op in ("==", "<", ">", "<=", ">="):
+        v = {
+            "==": l.val == r.val,
+            "<": l.val < r.val,
+            ">": l.val > r.val,
+            "<=": l.val <= r.val,
+            ">=": l.val >= r.val,
+        }[e.op]
+        return IR.Const(v, T.bool_t, e.srcinfo)
+    if e.op == "+":
+        if lc and l.val == 0:
+            return r
+        if rc and r.val == 0:
+            return l
+    if e.op == "-" and rc and r.val == 0:
+        return l
+    if e.op == "*":
+        if (lc and l.val == 0) or (rc and r.val == 0):
+            return IR.Const(0, e.type, e.srcinfo)
+        if lc and l.val == 1:
+            return r
+        if rc and r.val == 1:
+            return l
+    if e.op == "/" and rc and r.val == 1:
+        return l
+    if e.op == "and":
+        if lc:
+            return r if l.val else IR.Const(False, T.bool_t, e.srcinfo)
+        if rc:
+            return l if r.val else IR.Const(False, T.bool_t, e.srcinfo)
+    if e.op == "or":
+        if lc:
+            return IR.Const(True, T.bool_t, e.srcinfo) if l.val else r
+        if rc:
+            return IR.Const(True, T.bool_t, e.srcinfo) if r.val else l
+    return e
+
+
+def _is_int(*es):
+    return all(isinstance(x.val, int) for x in es)
+
+
+def _linearize(e: IR.Expr):
+    """``{sym_or_None: coeff}`` for purely affine control exprs, else None.
+
+    The None key holds the constant term.  Division, modulo, strides, and
+    config reads make the expression non-affine for this purpose.
+    """
+    if isinstance(e, IR.Const) and isinstance(e.val, int):
+        return {None: e.val}
+    if isinstance(e, IR.Read) and not e.idx:
+        return {e.name: 1, None: 0}
+    if isinstance(e, IR.USub):
+        inner = _linearize(e.arg)
+        if inner is None:
+            return None
+        return {k: -v for k, v in inner.items()}
+    if isinstance(e, IR.BinOp):
+        if e.op in ("+", "-"):
+            l, r = _linearize(e.lhs), _linearize(e.rhs)
+            if l is None or r is None:
+                return None
+            out = dict(l)
+            sign = 1 if e.op == "+" else -1
+            for k, v in r.items():
+                out[k] = out.get(k, 0) + sign * v
+            return out
+        if e.op == "*":
+            l, r = _linearize(e.lhs), _linearize(e.rhs)
+            if l is None or r is None:
+                return None
+            if set(l) == {None}:
+                c, terms = l[None], r
+            elif set(r) == {None}:
+                c, terms = r[None], l
+            else:
+                return None
+            return {k: c * v for k, v in terms.items()}
+    return None
+
+
+def _from_linear(lin, orig: IR.Expr) -> IR.Expr:
+    si = orig.srcinfo
+    typ = orig.type
+    terms = sorted(
+        ((k, v) for k, v in lin.items() if k is not None and v != 0),
+        key=lambda p: p[0].id,
+    )
+    const = lin.get(None, 0)
+    out = None
+    for sym, coeff in terms:
+        read = IR.Read(sym, (), typ, si)
+        part = (
+            read
+            if coeff == 1
+            else IR.BinOp("*", IR.Const(abs(coeff), T.int_t, si), read, typ, si)
+        )
+        if out is None:
+            out = part if coeff > 0 else IR.USub(part, typ, si)
+        elif coeff > 0:
+            out = IR.BinOp("+", out, part, typ, si)
+        else:
+            out = IR.BinOp("-", out, part, typ, si)
+    if out is None:
+        return IR.Const(const, typ if typ is not None else T.int_t, si)
+    if const > 0:
+        out = IR.BinOp("+", out, IR.Const(const, T.int_t, si), typ, si)
+    elif const < 0:
+        out = IR.BinOp("-", out, IR.Const(-const, T.int_t, si), typ, si)
+    return out
+
+
+def simplify_stmts(stmts) -> tuple:
+    out = []
+    for s in stmts:
+        s = _simplify_stmt(s)
+        if s is not None:
+            out.append(s)
+    return tuple(out)
+
+
+def _simplify_stmt(s: IR.Stmt):
+    if isinstance(s, (IR.Assign, IR.Reduce)):
+        return dc_replace(
+            s,
+            idx=tuple(simplify_expr(i) for i in s.idx),
+            rhs=_simplify_data(s.rhs),
+        )
+    if isinstance(s, IR.WriteConfig):
+        return dc_replace(s, rhs=simplify_expr(s.rhs))
+    if isinstance(s, IR.If):
+        cond = simplify_expr(s.cond)
+        body = simplify_stmts(s.body)
+        orelse = simplify_stmts(s.orelse)
+        if isinstance(cond, IR.Const):
+            taken = body if cond.val else orelse
+            if not taken:
+                return None
+            if len(taken) == 1:
+                return taken[0]
+            # splice multi-statement blocks via a trivially-true guard
+            return dc_replace(s, cond=IR.Const(True, T.bool_t, s.srcinfo),
+                              body=taken, orelse=())
+        if not body and not orelse:
+            return None
+        if not body and orelse:
+            return None if not orelse else dc_replace(
+                s, cond=cond, body=(IR.Pass(s.srcinfo),), orelse=orelse
+            )
+        return dc_replace(s, cond=cond, body=body, orelse=orelse)
+    if isinstance(s, IR.For):
+        lo = simplify_expr(s.lo)
+        hi = simplify_expr(s.hi)
+        body = simplify_stmts(s.body)
+        if not body:
+            return None
+        if (
+            isinstance(lo, IR.Const)
+            and isinstance(hi, IR.Const)
+            and hi.val <= lo.val
+        ):
+            return None
+        return dc_replace(s, lo=lo, hi=hi, body=body)
+    if isinstance(s, IR.Alloc):
+        typ = s.type
+        if typ.is_tensor_or_window():
+            typ = T.Tensor(
+                typ.basetype(),
+                tuple(simplify_expr(h) for h in typ.shape()),
+                typ.is_win(),
+            )
+        return dc_replace(s, type=typ)
+    if isinstance(s, IR.Call):
+        return dc_replace(s, args=tuple(_simplify_arg(a) for a in s.args))
+    if isinstance(s, IR.WindowStmt):
+        return dc_replace(s, rhs=_simplify_arg(s.rhs))
+    return s
+
+
+def _simplify_data(e: IR.Expr) -> IR.Expr:
+    """Simplify a data expression: fold index arithmetic inside reads."""
+
+    def fn(node):
+        if isinstance(node, IR.Read) and node.idx:
+            return dc_replace(node, idx=tuple(simplify_expr(i) for i in node.idx))
+        return _fold(node)
+
+    return IR.map_expr(fn, e)
+
+
+def _simplify_arg(e: IR.Expr) -> IR.Expr:
+    if isinstance(e, IR.WindowExpr):
+        widx = []
+        for w in e.idx:
+            if isinstance(w, IR.Interval):
+                widx.append(IR.Interval(simplify_expr(w.lo), simplify_expr(w.hi)))
+            else:
+                widx.append(IR.Point(simplify_expr(w.pt)))
+        return dc_replace(e, idx=tuple(widx))
+    if e.type is not None and not e.type.is_numeric():
+        return simplify_expr(e)
+    return _simplify_data(e)
+
+
+def simplify_proc(proc: IR.Proc) -> IR.Proc:
+    return dc_replace(proc, body=simplify_stmts(proc.body))

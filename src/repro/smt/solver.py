@@ -1,0 +1,454 @@
+"""Decision procedure driver: NNF, DNF streaming, quantifier elimination.
+
+``Solver.prove(phi)`` decides validity of a quantified LIA formula by
+refuting its negation; ``Solver.satisfiable(phi)`` decides satisfiability.
+Quantifiers are eliminated recursively with the Omega test
+(:mod:`repro.smt.omega`); quasi-affine ``/`` and ``%`` are purified into
+fresh existential variables with defining constraints; boolean variables
+(used by the ternary-logic encoding of the effect analysis) are treated as
+opaque literals.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import Iterable, List
+
+from ..core.prelude import InternalError, Sym
+from . import terms as S
+from .omega import DIV, EQ, GEQ, Constraint, LinExpr, feasible, project
+
+_CMP_NEG = {"==": "!=", "<=": ">", "<": ">=", ">=": "<", ">": "<="}
+
+
+# ---------------------------------------------------------------------------
+# if-then-else elimination (atoms only; ite over ints)
+# ---------------------------------------------------------------------------
+
+
+def _find_ite(t):
+    if isinstance(t, S.Ite):
+        return t
+    for c in S.children(t):
+        found = _find_ite(c)
+        if found is not None:
+            return found
+    return None
+
+
+def _replace_term(t, old, new):
+    if t is old:
+        return new
+    if isinstance(t, S.Add):
+        return S.add(*[_replace_term(a, old, new) for a in t.args])
+    if isinstance(t, S.Scale):
+        return S.scale(t.coeff, _replace_term(t.arg, old, new))
+    if isinstance(t, S.FloorDiv):
+        return S.floordiv(_replace_term(t.arg, old, new), t.divisor)
+    if isinstance(t, S.Mod):
+        return S.mod(_replace_term(t.arg, old, new), t.divisor)
+    if isinstance(t, S.Cmp):
+        return S.cmp(t.op, _replace_term(t.lhs, old, new), _replace_term(t.rhs, old, new))
+    return t
+
+
+def elim_ite(t):
+    """Rewrite away integer ``ite`` nodes by case-splitting their atoms."""
+    if isinstance(t, S.Cmp):
+        it = _find_ite(t)
+        if it is None:
+            return t
+        cond = elim_ite(it.cond)
+        then_atom = elim_ite(_replace_term(t, it, it.then))
+        else_atom = elim_ite(_replace_term(t, it, it.els))
+        return S.disj(
+            S.conj(cond, then_atom), S.conj(S.negate(cond), else_atom)
+        )
+    if isinstance(t, S.Not):
+        return S.negate(elim_ite(t.arg))
+    if isinstance(t, S.And):
+        return S.conj(*[elim_ite(a) for a in t.args])
+    if isinstance(t, S.Or):
+        return S.disj(*[elim_ite(a) for a in t.args])
+    if isinstance(t, S.Exists):
+        return S.exists(t.vars, elim_ite(t.body))
+    if isinstance(t, S.ForAll):
+        return S.forall(t.vars, elim_ite(t.body))
+    return t
+
+
+# ---------------------------------------------------------------------------
+# Negation normal form
+# ---------------------------------------------------------------------------
+
+
+def nnf(t, positive=True):
+    if isinstance(t, S.BoolC):
+        return t if positive else S.mk_bool(not t.val)
+    if isinstance(t, S.Var):
+        return t if positive else S.Not(t)
+    if isinstance(t, S.Not):
+        return nnf(t.arg, not positive)
+    if isinstance(t, S.And):
+        args = [nnf(a, positive) for a in t.args]
+        return S.conj(*args) if positive else S.disj(*args)
+    if isinstance(t, S.Or):
+        args = [nnf(a, positive) for a in t.args]
+        return S.disj(*args) if positive else S.conj(*args)
+    if isinstance(t, S.Cmp):
+        if positive:
+            return _pos_cmp(t)
+        return _neg_cmp(t)
+    if isinstance(t, S.Exists):
+        body = nnf(t.body, positive)
+        return S.exists(t.vars, body) if positive else S.forall(t.vars, body)
+    if isinstance(t, S.ForAll):
+        body = nnf(t.body, positive)
+        return S.forall(t.vars, body) if positive else S.exists(t.vars, body)
+    raise InternalError(f"nnf: not a formula: {t!r}")
+
+
+def _pos_cmp(t):
+    return t
+
+
+def _neg_cmp(t):
+    op = _CMP_NEG[t.op]
+    if op == "!=":
+        return S.disj(S.lt(t.lhs, t.rhs), S.gt(t.lhs, t.rhs))
+    return S.cmp(op, t.lhs, t.rhs)
+
+
+# ---------------------------------------------------------------------------
+# DNF streaming
+# ---------------------------------------------------------------------------
+
+
+def dnf_stream(t, prune=None) -> Iterable[List]:
+    """Yield the conjuncts (lists of literals) of the DNF of an NNF formula.
+
+    ``prune``, if given, maps a partial literal list to False when it is
+    already unsatisfiable; subtrees under pruned prefixes are skipped.  This
+    turns the naive exponential DNF walk into a DPLL-style search with
+    theory propagation, which is what makes large negated-clause-set queries
+    (from ``forall`` elimination) tractable.
+    """
+
+    def is_literal(f):
+        return not isinstance(f, (S.And, S.Or, S.BoolC))
+
+    def go(pending, literals):
+        # absorb cheap work first: literals and conjunctions
+        pending = list(pending)
+        ors = []
+        while pending:
+            f = pending.pop()
+            if f == S.TRUE:
+                continue
+            if f == S.FALSE:
+                return
+            if isinstance(f, S.And):
+                pending.extend(f.args)
+            elif isinstance(f, S.Or):
+                ors.append(f)
+            else:
+                literals = literals + [f]
+        if ors and prune is not None and not prune(literals):
+            return
+        if not ors:
+            if prune is None or prune(literals):
+                yield literals
+            return
+        # branch on the smallest disjunction first
+        ors.sort(key=lambda f: len(f.args))
+        head, rest = ors[0], ors[1:]
+        for arm in head.args:
+            yield from go(rest + [arm], literals)
+
+    yield from go([t], [])
+
+
+# ---------------------------------------------------------------------------
+# Atom -> linear constraints
+# ---------------------------------------------------------------------------
+
+
+class _Purifier:
+    """Collects fresh variables and defining constraints for div/mod."""
+
+    def __init__(self):
+        self.aux_vars = []
+        self.aux_cons = []
+
+    def to_lin(self, t) -> LinExpr:
+        if isinstance(t, S.Var):
+            if t.sort != S.INT:
+                raise InternalError("boolean variable in arithmetic position")
+            return LinExpr.var(t.sym)
+        if isinstance(t, S.IntC):
+            return LinExpr.constant(t.val)
+        if isinstance(t, S.Add):
+            out = LinExpr.constant(0)
+            for a in t.args:
+                out = out.add(self.to_lin(a))
+            return out
+        if isinstance(t, S.Scale):
+            return self.to_lin(t.arg).scale(t.coeff)
+        if isinstance(t, S.FloorDiv):
+            la = self.to_lin(t.arg)
+            q = Sym("q")
+            self.aux_vars.append(q)
+            dq = LinExpr.var(q, t.divisor)
+            # la - d*q >= 0   and   d*q + (d-1) - la >= 0
+            self.aux_cons.append(Constraint(la.add(dq.scale(-1)), GEQ))
+            self.aux_cons.append(
+                Constraint(dq.add(la.scale(-1)).add(LinExpr.constant(t.divisor - 1)), GEQ)
+            )
+            return LinExpr.var(q)
+        if isinstance(t, S.Mod):
+            la = self.to_lin(t.arg)
+            q = Sym("q")
+            self.aux_vars.append(q)
+            r = la.add(LinExpr.var(q, -t.divisor))
+            self.aux_cons.append(Constraint(r, GEQ))
+            self.aux_cons.append(
+                Constraint(r.scale(-1).add(LinExpr.constant(t.divisor - 1)), GEQ)
+            )
+            return r
+        raise InternalError(f"to_lin: non-linear term {t!r}")
+
+    def atom(self, t: S.Cmp) -> List[Constraint]:
+        l = self.to_lin(t.lhs)
+        r = self.to_lin(t.rhs)
+        diff = l.add(r.scale(-1))
+        if t.op == "==":
+            return [Constraint(diff, EQ)]
+        if t.op == ">=":
+            return [Constraint(diff, GEQ)]
+        if t.op == ">":
+            return [Constraint(diff.add(LinExpr.constant(-1)), GEQ)]
+        if t.op == "<=":
+            return [Constraint(diff.scale(-1), GEQ)]
+        if t.op == "<":
+            return [Constraint(diff.scale(-1).add(LinExpr.constant(-1)), GEQ)]
+        raise InternalError(f"atom: unknown op {t.op}")
+
+
+def _lin_to_term(e: LinExpr):
+    parts = [S.scale(c, S.Var(v)) for v, c in e.coeffs]
+    if e.const or not parts:
+        parts.append(S.IntC(e.const))
+    return S.add(*parts)
+
+
+def _constraint_to_formula(c: Constraint):
+    t = _lin_to_term(c.expr)
+    if c.kind == EQ:
+        return S.eq(t, S.IntC(0))
+    if c.kind == DIV:
+        return S.eq(S.mod(t, c.divisor), S.IntC(0))
+    return S.ge(t, S.IntC(0))
+
+
+# ---------------------------------------------------------------------------
+# Quantifier elimination + satisfiability
+# ---------------------------------------------------------------------------
+
+
+class Solver:
+    """The public solver interface: validity and satisfiability of LIA."""
+
+    def __init__(self):
+        self._prove_cache = {}
+        self._feas_cache = {}
+        self.stats = {"prove_calls": 0, "cache_hits": 0, "omega_conjuncts": 0}
+
+    # -- public API --------------------------------------------------------
+
+    def prove(self, formula) -> bool:
+        """Is ``formula`` valid (true for all integer assignments)?"""
+        self.stats["prove_calls"] += 1
+        key = formula
+        if key in self._prove_cache:
+            self.stats["cache_hits"] += 1
+            return self._prove_cache[key]
+        result = not self.satisfiable(S.negate(formula))
+        self._prove_cache[key] = result
+        return result
+
+    def satisfiable(self, formula) -> bool:
+        f = elim_ite(formula)
+        f = nnf(f)
+        f = self._elim_foralls(f)
+        f, _extra = _strip_exists(f)  # existential prefix: free for sat-checking
+        for _literals in dnf_stream(f, prune=self._conjunct_feasible):
+            return True  # first surviving conjunct is feasible
+        return False
+
+    # -- quantifier elimination ---------------------------------------------
+    #
+    # Only universal quantifiers require genuine elimination: existential
+    # binders are prenexed into the satisfiability check (their Syms are
+    # globally unique, so pulling them up never captures).
+
+    def _elim_foralls(self, t):
+        if isinstance(t, S.And):
+            return S.conj(*[self._elim_foralls(a) for a in t.args])
+        if isinstance(t, S.Or):
+            return S.disj(*[self._elim_foralls(a) for a in t.args])
+        if isinstance(t, S.Exists):
+            return S.exists(t.vars, self._elim_foralls(t.body))
+        if isinstance(t, S.ForAll):
+            inner = nnf(S.negate(t.body))
+            inner = self._elim_foralls(inner)
+            elim = self._qe_exists(list(t.vars), inner)
+            return nnf(S.negate(elim))
+        return t
+
+    def _qe_exists(self, qvars, body):
+        body, extra = _strip_exists(body)
+        qvars = list(qvars) + extra
+        disjuncts = []
+        for literals in dnf_stream(body, prune=self._conjunct_feasible):
+            pur = _Purifier()
+            cons = []
+            bools = []
+            ok = True
+            for lit in literals:
+                if isinstance(lit, S.Cmp):
+                    cons.extend(pur.atom(lit))
+                elif isinstance(lit, (S.Var, S.Not)):
+                    bools.append(lit)
+                elif isinstance(lit, S.BoolC):
+                    if not lit.val:
+                        ok = False
+                        break
+                else:
+                    raise InternalError(f"qe: unexpected literal {lit!r}")
+            if not ok or _bool_conflict(bools):
+                continue
+            cons.extend(pur.aux_cons)
+            elim = list(qvars) + pur.aux_vars
+            for out_cons in project(cons, elim):
+                parts = [_constraint_to_formula(c) for c in out_cons] + bools
+                disjuncts.append(S.conj(*parts))
+        return S.disj(*disjuncts)
+
+    # -- ground satisfiability ----------------------------------------------
+
+    def _conjunct_feasible(self, literals) -> bool:
+        key = frozenset(literals)
+        cached = self._feas_cache.get(key)
+        if cached is None:
+            cached = self._feasible_rec(list(literals), 0)
+            self._feas_cache[key] = cached
+        return cached
+
+    def _feasible_rec(self, literals, depth) -> bool:
+        """Ground feasibility with Cooper-style residue splitting.
+
+        Conjunctions rich in ``Mod``/``FloorDiv`` atoms (they arise from
+        quantifier elimination over tiled loops) are decided by case-splitting
+        a variable ``v`` under a divisor ``d`` as ``v = d*v' + r``; the smart
+        constructors then fold the div/mod terms away.  Remaining purely
+        linear conjunctions go to the Omega test.
+        """
+        split = self._choose_residue_split(literals) if depth < 8 else None
+        if split is not None:
+            v, d = split
+            for r in range(d):
+                fresh = S.Var(Sym(v.name))
+                repl = S.add(S.scale(d, fresh), S.IntC(r))
+                branch = [S.substitute(lit, {v: repl}) for lit in literals]
+                branch = [b for b in branch if b != S.TRUE]
+                if any(b == S.FALSE for b in branch):
+                    continue
+                if self._feasible_rec(branch, depth + 1):
+                    return True
+            return False
+        return self._omega_feasible(literals)
+
+    @staticmethod
+    def _choose_residue_split(literals):
+        """A (variable, divisor) pair occurring under Mod/FloorDiv, if any."""
+
+        def scan(t):
+            if isinstance(t, (S.Mod, S.FloorDiv)):
+                for v in sorted(S.free_vars(t.arg), key=lambda s: s.id):
+                    return v, t.divisor
+            for c in S.children(t):
+                found = scan(c)
+                if found:
+                    return found
+            return None
+
+        best = None
+        for lit in literals:
+            found = scan(lit)
+            if found and found[1] <= 128:
+                if best is None or found[1] < best[1]:
+                    best = found
+        return best
+
+    def _omega_feasible(self, literals) -> bool:
+        self.stats["omega_conjuncts"] += 1
+        pur = _Purifier()
+        cons = []
+        bools = []
+        for lit in literals:
+            if isinstance(lit, S.Cmp):
+                cons.extend(pur.atom(lit))
+            elif isinstance(lit, (S.Var, S.Not)):
+                bools.append(lit)
+            elif isinstance(lit, S.BoolC):
+                if not lit.val:
+                    return False
+            else:
+                raise InternalError(f"sat: unexpected literal {lit!r}")
+        if _bool_conflict(bools):
+            return False
+        cons.extend(pur.aux_cons)
+        return feasible(cons)
+
+
+def _strip_exists(t):
+    """Prenex existential binders out of an NNF, forall-free formula.
+
+    Returns ``(formula, vars)``; the binders become free variables (sound
+    because every ``Sym`` is globally unique, so no capture can occur)."""
+    if isinstance(t, S.Exists):
+        inner, vs = _strip_exists(t.body)
+        return inner, list(t.vars) + vs
+    if isinstance(t, (S.And, S.Or)):
+        parts = []
+        vs = []
+        for a in t.args:
+            p, v = _strip_exists(a)
+            parts.append(p)
+            vs += v
+        rebuilt = S.conj(*parts) if isinstance(t, S.And) else S.disj(*parts)
+        return rebuilt, vs
+    return t, []
+
+
+def _bool_conflict(bools) -> bool:
+    pos = set()
+    neg = set()
+    for b in bools:
+        if isinstance(b, S.Not):
+            neg.add(b.arg)
+        else:
+            pos.add(b)
+    return bool(pos & neg)
+
+
+#: A process-wide default solver (the cache is shared across checks).
+DEFAULT_SOLVER = Solver()
+
+
+def prove(formula) -> bool:
+    return DEFAULT_SOLVER.prove(formula)
+
+
+def satisfiable(formula) -> bool:
+    return DEFAULT_SOLVER.satisfiable(formula)

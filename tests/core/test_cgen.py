@@ -1,0 +1,228 @@
+"""C code generation and back-end checks (§3.1.1, §3.1.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MemGenError
+from repro.api import procs_from_source
+from repro.core.prelude import BackendError
+from repro.platforms.gemmini import SCRATCHPAD
+
+HEADER = (
+    "from __future__ import annotations\n"
+    "from repro import proc, instr, DRAM, StaticMemory, f32, i8, i32, size, relu\n"
+)
+
+
+def _p(body, extra=None):
+    return list(procs_from_source(HEADER + body, extra_globals=extra).values())[-1]
+
+
+class TestBasicCodegen:
+    def test_signature_pointers(self):
+        p = _p(
+            """
+@proc
+def axpy(n: size, a: f32 @ DRAM, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        y[i] += a * x[i]
+"""
+        )
+        c = p.c_code()
+        assert "void axpy(int_fast32_t n, float* a, float* x, float* y)" in c
+        assert "*a" in c  # scalar args dereference
+
+    def test_loop_translation(self):
+        p = _p(
+            """
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        x[i] = 0.0
+"""
+        )
+        c = p.c_code()
+        assert "for (int_fast32_t i = 0; i < n; i++)" in c
+
+    def test_row_major_indexing(self):
+        p = _p(
+            """
+@proc
+def f(n: size, m: size, x: f32[n, m] @ DRAM):
+    assert n >= 2
+    assert m >= 3
+    x[1, 2] = 0.0
+"""
+        )
+        c = p.c_code()
+        assert "(1) * (m) + (2) * (1)" in c
+
+    def test_static_memory(self):
+        p = _p(
+            """
+@proc
+def f(y: f32[4] @ DRAM):
+    t: f32[4] @ StaticMemory
+    for i in seq(0, 4):
+        t[i] = y[i]
+    for i in seq(0, 4):
+        y[i] = t[i]
+"""
+        )
+        assert "static float t[4];" in p.c_code()
+
+    def test_assertions_become_comments(self):
+        p = _p(
+            """
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    assert n % 4 == 0
+    x[0] = 0.0
+"""
+        )
+        assert "// assert n % 4 == 0" in p.c_code()
+
+    def test_callee_compiled_first(self):
+        p = _p(
+            """
+@proc
+def inner(n: size, x: f32[n] @ DRAM):
+    x[0] = 0.0
+
+@proc
+def outer(x: f32[4] @ DRAM):
+    inner(4, x)
+"""
+        )
+        c = p.c_code()
+        assert c.index("void inner") < c.index("void outer(")
+        assert "inner(4, x);" in c
+
+    def test_window_struct_for_window_args(self):
+        p = _p(
+            """
+@proc
+def take(n: size, w: [f32][n] @ DRAM):
+    w[0] = 0.0
+
+@proc
+def f(x: f32[8, 8] @ DRAM):
+    take(8, x[3, 0:8])
+"""
+        )
+        c = p.c_code()
+        assert "struct exo_win_1float" in c
+        assert ".strides" in c
+
+    def test_relu_helper_emitted(self):
+        p = _p(
+            """
+@proc
+def f(x: f32 @ DRAM):
+    x = relu(x)
+"""
+        )
+        c = p.c_code()
+        assert "_relu_float" in c
+        assert "static inline float _relu_float" in c
+
+
+class TestInstrCodegen:
+    def test_template_replaces_call(self):
+        p = _p(
+            """
+@instr("magic({n}, {dst});")
+def magic(n: size, dst: [f32][n] @ DRAM):
+    for i in seq(0, n):
+        dst[i] = 0.0
+
+@proc
+def f(x: f32[16] @ DRAM):
+    magic(16, x[0:16])
+"""
+        )
+        c = p.c_code()
+        assert "magic(16, " in c
+        assert "void magic" not in c  # no function body emitted
+
+    def test_template_window_offsets(self):
+        p = _p(
+            """
+@instr("ld({src});")
+def ld(src: [f32][4] @ DRAM):
+    src[0] = 0.0
+
+@proc
+def f(x: f32[8, 8] @ DRAM):
+    ld(x[3, 4:8])
+"""
+        )
+        c = p.c_code()
+        assert "ld(&x[" in c
+
+    def test_stride_placeholder(self):
+        p = _p(
+            """
+@instr("cfg({src.strides[0]});")
+def cfg_i(src: [f32][4, 4] @ DRAM):
+    src[0, 0] = 0.0
+
+@proc
+def f(x: f32[8, 8] @ DRAM):
+    cfg_i(x[0:4, 0:4])
+"""
+        )
+        assert "cfg(8);" in p.c_code()
+
+
+class TestBackendChecks:
+    def test_scratchpad_direct_access_rejected(self):
+        p = _p(
+            """
+@proc
+def f(y: f32[4] @ DRAM):
+    t: i8[4] @ SPAD
+    for i in seq(0, 4):
+        t[i] = 0.0
+    y[0] = 0.0
+""",
+            extra={"SPAD": SCRATCHPAD},
+        )
+        with pytest.raises(BackendError):
+            p.c_code()
+
+    def test_memory_mismatch_on_call_rejected(self):
+        p = _p(
+            """
+@instr("spad_op({dst});")
+def spad_op(dst: [i8][4] @ SPAD):
+    dst[0] = 0.0
+
+@proc
+def f(x: i8[4] @ DRAM):
+    spad_op(x[0:4])
+""",
+            extra={"SPAD": SCRATCHPAD},
+        )
+        with pytest.raises(BackendError):
+            p.c_code()
+
+    def test_scratchpad_via_instr_ok(self):
+        p = _p(
+            """
+@instr("spad_zero({dst});")
+def spad_zero(dst: [i8][4] @ SPAD):
+    dst[0] = 0.0
+
+@proc
+def f(y: f32 @ DRAM):
+    t: i8[4] @ SPAD
+    spad_zero(t[0:4])
+    y = 0.0
+""",
+            extra={"SPAD": SCRATCHPAD},
+        )
+        c = p.c_code()
+        assert "spad_zero(" in c
+        assert "gemmini_spad_malloc" in c

@@ -1,0 +1,316 @@
+"""Bounds checking and assertion (precondition) checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BoundsCheckError
+from repro.api import procs_from_source
+from repro.core.configs import Config
+from repro.core import types as T
+
+HEADER = (
+    "from __future__ import annotations\n"
+    "from repro import proc, DRAM, f32, i8, size, stride\n"
+)
+
+
+def _ok(body, extra=None):
+    return list(procs_from_source(HEADER + body, extra_globals=extra).values())[-1]
+
+
+def _bad(body, extra=None):
+    with pytest.raises(BoundsCheckError):
+        procs_from_source(HEADER + body, extra_globals=extra)
+
+
+class TestBounds:
+    def test_in_bounds_loop(self):
+        _ok(
+            """
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        x[i] = 0.0
+"""
+        )
+
+    def test_off_by_one_rejected(self):
+        _bad(
+            """
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        x[i + 1] = 0.0
+"""
+        )
+
+    def test_negative_index_rejected(self):
+        _bad(
+            """
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        x[i - 1] = 0.0
+"""
+        )
+
+    def test_guard_makes_access_safe(self):
+        _ok(
+            """
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n + 5):
+        if i < n:
+            x[i] = 0.0
+"""
+        )
+
+    def test_assert_enables_proof(self):
+        _ok(
+            """
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    assert n % 8 == 0
+    for io in seq(0, n / 8):
+        for ii in seq(0, 8):
+            x[8 * io + ii] = 0.0
+"""
+        )
+
+    def test_tiled_without_divisibility_rejected(self):
+        _bad(
+            """
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    for io in seq(0, n / 8):
+        for ii in seq(0, 8):
+            x[8 * io + ii + n % 8] = 0.0
+"""
+        ) if False else None
+
+    def test_read_bounds_checked(self):
+        _bad(
+            """
+@proc
+def f(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        y[i] = x[i + 1]
+"""
+        )
+
+    def test_window_bounds_checked(self):
+        _bad(
+            """
+@proc
+def f(x: f32[8, 8] @ DRAM):
+    y = x[2:10, 0:8]
+    y[0, 0] = 0.0
+"""
+        )
+
+    def test_window_access_within_window(self):
+        _ok(
+            """
+@proc
+def f(x: f32[8, 8] @ DRAM):
+    y = x[2:6, 0:8]
+    for i in seq(0, 4):
+        y[i, 0] = 0.0
+"""
+        )
+
+    def test_window_access_out_of_window_rejected(self):
+        _bad(
+            """
+@proc
+def f(x: f32[8, 8] @ DRAM):
+    y = x[2:6, 0:8]
+    for i in seq(0, 5):
+        y[i, 0] = 0.0
+"""
+        )
+
+    def test_alloc_extent_positive(self):
+        _ok(
+            """
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    t: f32[n]
+    t[0] = x[0]
+    x[0] = t[0]
+"""
+        )
+        _bad(
+            """
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    t: f32[n - n]
+    x[0] = 0.0
+"""
+        )
+
+    def test_division_in_index(self):
+        _ok(
+            """
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        x[i / 2 * 0 + i] = 0.0
+"""
+        )
+
+
+class TestAsserts:
+    def test_callee_precondition_proved(self):
+        _ok(
+            """
+@proc
+def g(n: size, x: f32[n] @ DRAM):
+    assert n >= 4
+    x[3] = 0.0
+
+@proc
+def f(x: f32[8] @ DRAM):
+    g(8, x)
+"""
+        )
+
+    def test_callee_precondition_unprovable(self):
+        _bad(
+            """
+@proc
+def g(n: size, x: f32[n] @ DRAM):
+    assert n >= 4
+    x[3] = 0.0
+
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    g(n, x)
+"""
+        )
+
+    def test_caller_pred_flows_to_callee(self):
+        _ok(
+            """
+@proc
+def g(n: size, x: f32[n] @ DRAM):
+    assert n % 2 == 0
+    x[0] = 0.0
+
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    assert n % 4 == 0
+    g(n, x)
+"""
+        )
+
+    def test_size_argument_positive_required(self):
+        _bad(
+            """
+@proc
+def g(n: size, x: f32[n] @ DRAM):
+    x[0] = 0.0
+
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    g(n - n, x)
+"""
+        )
+
+    def test_extent_match_checked(self):
+        _bad(
+            """
+@proc
+def g(x: f32[8] @ DRAM):
+    x[0] = 0.0
+
+@proc
+def f(x: f32[9] @ DRAM):
+    g(x)
+"""
+        )
+
+    def test_window_extent_match(self):
+        _ok(
+            """
+@proc
+def g(x: [f32][4] @ DRAM):
+    x[0] = 0.0
+
+@proc
+def f(y: f32[10] @ DRAM):
+    g(y[2:6])
+"""
+        )
+
+    def test_config_precondition_via_dataflow(self):
+        cfg = Config("CfgB", [("s", T.stride_t)])
+        _ok(
+            """
+@proc
+def g(n: size, src: [f32][n, 8] @ DRAM):
+    assert stride(src, 0) == CfgB.s
+    src[0, 0] = 0.0
+
+@proc
+def f(src: f32[16, 8] @ DRAM):
+    CfgB.s = stride(src, 0)
+    g(16, src[0:16, 0:8])
+""",
+            extra={"CfgB": cfg},
+        )
+
+    def test_config_precondition_missing_write_rejected(self):
+        cfg = Config("CfgC", [("s", T.stride_t)])
+        _bad(
+            """
+@proc
+def g(n: size, src: [f32][n, 8] @ DRAM):
+    assert stride(src, 0) == CfgC.s
+    src[0, 0] = 0.0
+
+@proc
+def f(src: f32[16, 8] @ DRAM):
+    g(16, src[0:16, 0:8])
+""",
+            extra={"CfgC": cfg},
+        )
+
+    def test_config_clobbered_by_loop_rejected(self):
+        cfg = Config("CfgD", [("s", T.int_t)])
+        _bad(
+            """
+@proc
+def g(n: size, x: f32[n] @ DRAM):
+    assert CfgD.s == 3
+    x[0] = 0.0
+
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    CfgD.s = 3
+    for i in seq(0, n):
+        CfgD.s = i
+    g(n, x)
+""",
+            extra={"CfgD": cfg},
+        )
+
+    def test_config_loop_invariant_write_ok(self):
+        cfg = Config("CfgE", [("s", T.int_t)])
+        _ok(
+            """
+@proc
+def g(n: size, x: f32[n] @ DRAM):
+    assert CfgE.s == 3
+    x[0] = 0.0
+
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    CfgE.s = 3
+    for i in seq(0, n):
+        x[i] = 0.0
+    g(n, x)
+""",
+            extra={"CfgE": cfg},
+        )

@@ -1,0 +1,332 @@
+"""The §2.4 configuration flow: configwrite, hoisting, call_eqv.
+
+These tests exercise the ternary-logic machinery end to end: equivalence
+modulo config (Def 4.2), the context condition on polluted fields (§6.2),
+the stable-write fission exception, and remove_loop idempotency on config
+writes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SchedulingError
+from repro.api import procs_from_source
+from repro.core import ast as IR
+from repro.core.configs import Config
+from repro.core import types as T
+
+HEADER = (
+    "from __future__ import annotations\n"
+    "from repro import proc, instr, DRAM, f32, size, stride\n"
+)
+
+
+def _procs(body, extra=None):
+    return procs_from_source(HEADER + body, extra_globals=extra)
+
+
+@pytest.fixture
+def cfg():
+    return Config("CfgX", [("s", T.stride_t), ("v", T.int_t)])
+
+
+class TestConfigWrite:
+    def test_configwrite_root(self, cfg):
+        ps = _procs(
+            """
+@proc
+def f(n: size, x: f32[n, 8] @ DRAM):
+    for i in seq(0, n):
+        x[i, 0] = 0.0
+""",
+            extra={"CfgX": cfg},
+        )
+        q = ps["f"].configwrite_root(cfg, "s", "stride(x, 0)")
+        assert isinstance(q.ir().body[0], IR.WriteConfig)
+
+    def test_configwrite_rejected_when_read_downstream(self, cfg):
+        ps = _procs(
+            """
+@proc
+def g(n: size, x: f32[n] @ DRAM):
+    assert CfgX.v == 1
+    x[0] = 0.0
+
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    CfgX.v = 1
+    x[0] = 0.0
+    g(n, x)
+""",
+            extra={"CfgX": cfg},
+        )
+        # inserting CfgX.v = 2 after the first statement would break g's
+        # exposed precondition read
+        with pytest.raises(SchedulingError):
+            ps["f"].configwrite_at("x[_] = 0.0", cfg, "v", "2")
+
+    def test_configwrite_root_ok_when_reestablished(self, cfg):
+        """Inserting at the root is fine when the body definitely rewrites
+        the field before any read (the Definition 5.5 subtraction)."""
+        ps = _procs(
+            """
+@proc
+def g(n: size, x: f32[n] @ DRAM):
+    assert CfgX.v == 1
+    x[0] = 0.0
+
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    CfgX.v = 1
+    g(n, x)
+""",
+            extra={"CfgX": cfg},
+        )
+        q = ps["f"].configwrite_root(cfg, "v", "2")
+        import repro.core.ast as IR
+
+        assert isinstance(q.ir().body[0], IR.WriteConfig)
+
+    def test_write_then_write_shadow_allows(self, cfg):
+        # inserting a write that is itself definitely overwritten before
+        # any read is fine
+        ps = _procs(
+            """
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    CfgX.v = 1
+    x[0] = 0.0
+""",
+            extra={"CfgX": cfg},
+        )
+        q = ps["f"].configwrite_root(cfg, "v", "7")
+        wcs = [s for s in q.ir().body if isinstance(s, IR.WriteConfig)]
+        assert len(wcs) == 2
+
+
+class TestFissionWithConfig:
+    def test_stable_write_fission(self, cfg):
+        """The §2.4 pattern: a loop-invariant config write fissions out of
+        the loop even though later statements read the config."""
+        ps = _procs(
+            """
+@proc
+def ld(n: size, x: [f32][n, 8] @ DRAM):
+    assert stride(x, 0) == CfgX.s
+    x[0, 0] = 0.0
+
+@proc
+def f(n: size, x: f32[n, 8] @ DRAM):
+    assert n >= 1
+    for k in seq(0, n):
+        CfgX.s = stride(x, 0)
+        ld(n, x[0:n, 0:8])
+""",
+            extra={"CfgX": cfg},
+        )
+        q = ps["f"].fission_after("CfgX.s = _")
+        loops = [s for s in q.ir().body if isinstance(s, IR.For)]
+        assert len(loops) == 2
+        # ... and the config-only loop is idempotent, so it can be removed
+        r = q.remove_loop("for k in _: _ #0")
+        assert isinstance(r.ir().body[0], IR.WriteConfig)
+
+    def test_varying_write_fission_rejected(self, cfg):
+        ps = _procs(
+            """
+@proc
+def g(n: size, x: f32[n] @ DRAM):
+    assert CfgX.v >= 0
+    x[0] = 0.0
+
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    for k in seq(0, n):
+        CfgX.v = k
+        g(n, x)
+""",
+            extra={"CfgX": cfg},
+        )
+        with pytest.raises(SchedulingError):
+            ps["f"].fission_after("CfgX.v = _")
+
+    def test_guarded_write_fission_rejected(self, cfg):
+        # the write only happens on some iterations, so hoisting all the
+        # writes before all the reads changes what iteration 0 observes
+        ps = _procs(
+            """
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    CfgX.v = 0
+    for k in seq(0, n):
+        if k > 0:
+            CfgX.v = 3
+        if CfgX.v == 3:
+            x[k] = 1.0
+""",
+            extra={"CfgX": cfg},
+        )
+        with pytest.raises(SchedulingError):
+            ps["f"].fission_after("if k > 0: _")
+
+    def test_remove_config_loop(self, cfg):
+        ps = _procs(
+            """
+@proc
+def f(n: size, x: f32[n, 8] @ DRAM):
+    assert n >= 1
+    for k in seq(0, n):
+        CfgX.s = stride(x, 0)
+    x[0, 0] = 0.0
+""",
+            extra={"CfgX": cfg},
+        )
+        q = ps["f"].remove_loop("for k in _: _")
+        assert isinstance(q.ir().body[0], IR.WriteConfig)
+
+    def test_remove_loop_config_read_in_body_rejected(self, cfg):
+        ps = _procs(
+            """
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    assert n >= 1
+    for k in seq(0, n):
+        CfgX.v = CfgX.v + 0
+    x[0] = 0.0
+""",
+            extra={"CfgX": cfg},
+        )
+        with pytest.raises(SchedulingError):
+            ps["f"].remove_loop("for k in _: _")
+
+
+class TestNoopWriteReorder:
+    def test_redundant_write_commutes(self, cfg):
+        """A config write whose value equals the current dataflow value is
+        a no-op and may be reordered past config readers."""
+        ps = _procs(
+            """
+@proc
+def g(n: size, x: f32[n] @ DRAM):
+    assert CfgX.v == 5
+    x[0] = 0.0
+
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    CfgX.v = 5
+    CfgX.v = 5
+    g(n, x)
+""",
+            extra={"CfgX": cfg},
+        )
+        q = ps["f"].reorder_stmts("CfgX.v = 5 #1")
+        assert isinstance(q.ir().body[1], IR.Call) or isinstance(
+            q.ir().body[1], IR.WriteConfig
+        )
+
+    def test_changing_write_reorder_rejected(self, cfg):
+        ps = _procs(
+            """
+@proc
+def g(n: size, x: f32[n] @ DRAM):
+    assert CfgX.v == 5
+    x[0] = 0.0
+
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    CfgX.v = 5
+    g(n, x)
+    CfgX.v = 6
+""",
+            extra={"CfgX": cfg},
+        )
+        with pytest.raises(SchedulingError):
+            ps["f"].reorder_stmts("g(_, _)")
+
+
+class TestCallEqv:
+    def test_call_eqv_swaps_target(self):
+        ps = _procs(
+            """
+@proc
+def work(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        x[i] = x[i] * 2.0
+
+@proc
+def f(x: f32[8] @ DRAM):
+    work(8, x)
+"""
+        )
+        fast = ps["work"].split("for i in _: _", 4, "io", "ii", tail="guard")
+        q = ps["f"].call_eqv(fast, "work(_, _)")
+        call = [s for s in IR.walk_stmts(q.ir().body) if isinstance(s, IR.Call)][0]
+        assert call.proc is fast.ir()
+
+    def test_call_eqv_unrelated_rejected(self):
+        ps = _procs(
+            """
+@proc
+def work(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        x[i] = x[i] * 2.0
+
+@proc
+def other(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        x[i] = x[i] * 2.0
+
+@proc
+def f(x: f32[8] @ DRAM):
+    work(8, x)
+"""
+        )
+        with pytest.raises(SchedulingError):
+            ps["f"].call_eqv(ps["other"], "work(_, _)")
+
+    def test_call_eqv_polluted_field_read_downstream_rejected(self, cfg):
+        ps = _procs(
+            """
+@proc
+def work(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        x[i] = x[i] * 2.0
+
+@proc
+def reader(n: size, x: f32[n] @ DRAM):
+    assert CfgX.v == 9
+    x[0] = 0.0
+
+@proc
+def f(x: f32[8] @ DRAM):
+    CfgX.v = 9
+    work(8, x)
+    reader(8, x)
+""",
+            extra={"CfgX": cfg},
+        )
+        # derive an equivalent-modulo-{v} variant of work
+        polluted = ps["work"].configwrite_root(cfg, "v", "1")
+        with pytest.raises(SchedulingError):
+            ps["f"].call_eqv(polluted, "work(_, _)")
+
+    def test_call_eqv_polluted_ok_when_not_read(self, cfg):
+        ps = _procs(
+            """
+@proc
+def work(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        x[i] = x[i] * 2.0
+
+@proc
+def f(x: f32[8] @ DRAM):
+    work(8, x)
+    x[0] = 1.0
+""",
+            extra={"CfgX": cfg},
+        )
+        polluted = ps["work"].configwrite_root(cfg, "v", "1")
+        q = ps["f"].call_eqv(polluted, "work(_, _)")
+        call = [s for s in IR.walk_stmts(q.ir().body) if isinstance(s, IR.Call)][0]
+        assert call.proc is polluted.ir()

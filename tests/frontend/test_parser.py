@@ -1,0 +1,309 @@
+"""Tests for the Python-embedded DSL parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DRAM, Memory, ParseError, TypeCheckError, config, f32, i8, proc
+from repro.api import procs_from_source
+from repro.core import ast as IR
+from repro.core import types as T
+
+
+def _parse(body: str, extra=None) -> "Procedure":
+    procs = procs_from_source(
+        "from __future__ import annotations\n"
+        "from repro import proc, instr, DRAM, f32, f64, i8, i32, size, "
+        "stride, relu, select\n" + body,
+        extra_globals=extra,
+    )
+    return list(procs.values())[-1]
+
+
+class TestSignatures:
+    def test_simple_proc(self):
+        p = _parse(
+            """
+@proc
+def copy(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        y[i] = x[i]
+"""
+        )
+        ir = p.ir()
+        assert ir.name == "copy"
+        assert len(ir.args) == 3
+        assert ir.args[0].type.is_sizeable()
+        assert ir.args[1].type.is_tensor_or_window()
+        assert ir.args[1].mem.name() == "DRAM"
+
+    def test_window_arg(self):
+        p = _parse(
+            """
+@proc
+def f(n: size, x: [f32][n, 16] @ DRAM):
+    for i in seq(0, n):
+        x[i, 0] = 0.0
+"""
+        )
+        assert p.ir().args[1].type.is_win()
+
+    def test_scalar_arg(self):
+        p = _parse(
+            """
+@proc
+def f(x: f32 @ DRAM):
+    x = 1.0
+"""
+        )
+        assert p.ir().args[0].type.is_real_scalar()
+
+    def test_dependent_shapes(self):
+        p = _parse(
+            """
+@proc
+def f(n: size, m: size, x: f32[n + 1, 2 * m] @ DRAM):
+    x[0, 0] = 0.0
+"""
+        )
+        shape = p.ir().args[2].type.shape()
+        assert isinstance(shape[0], IR.BinOp) and shape[0].op == "+"
+
+    def test_missing_annotation_rejected(self):
+        with pytest.raises(ParseError):
+            _parse(
+                """
+@proc
+def f(n):
+    pass
+"""
+            )
+
+    def test_default_args_rejected(self):
+        with pytest.raises(ParseError):
+            _parse(
+                """
+@proc
+def f(n: size, x: f32 @ DRAM = None):
+    x = 0.0
+"""
+            )
+
+
+class TestStatements:
+    def test_asserts_become_preds(self):
+        p = _parse(
+            """
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    assert n % 8 == 0
+    assert n >= 8
+    for i in seq(0, n):
+        x[i] = 0.0
+"""
+        )
+        assert len(p.ir().preds) == 2
+
+    def test_assert_mid_body_rejected(self):
+        with pytest.raises(ParseError):
+            _parse(
+                """
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    x[0] = 0.0
+    assert n > 0
+"""
+            )
+
+    def test_alloc(self):
+        p = _parse(
+            """
+@proc
+def f(x: f32[4] @ DRAM):
+    tmp: f32[4] @ DRAM
+    for i in seq(0, 4):
+        tmp[i] = x[i]
+    for i in seq(0, 4):
+        x[i] = tmp[i]
+"""
+        )
+        allocs = [s for s in IR.walk_stmts(p.ir().body) if isinstance(s, IR.Alloc)]
+        assert len(allocs) == 1
+
+    def test_reduce(self):
+        p = _parse(
+            """
+@proc
+def f(n: size, x: f32[n] @ DRAM, acc: f32 @ DRAM):
+    for i in seq(0, n):
+        acc += x[i]
+"""
+        )
+        reduces = [s for s in IR.walk_stmts(p.ir().body) if isinstance(s, IR.Reduce)]
+        assert len(reduces) == 1
+
+    def test_if_else(self):
+        p = _parse(
+            """
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        if i < 4:
+            x[i] = 0.0
+        else:
+            x[i] = 1.0
+"""
+        )
+        ifs = [s for s in IR.walk_stmts(p.ir().body) if isinstance(s, IR.If)]
+        assert len(ifs) == 1 and ifs[0].orelse
+
+    def test_window_stmt(self):
+        p = _parse(
+            """
+@proc
+def f(x: f32[8, 8] @ DRAM):
+    y = x[0:4, 2]
+    for i in seq(0, 4):
+        y[i] = 0.0
+"""
+        )
+        wins = [s for s in IR.walk_stmts(p.ir().body) if isinstance(s, IR.WindowStmt)]
+        assert len(wins) == 1
+        assert wins[0].rhs.type.is_win()
+        assert len(wins[0].rhs.type.shape()) == 1
+
+    def test_call(self):
+        src = """
+@proc
+def callee(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        x[i] = 0.0
+
+@proc
+def caller(x: f32[8] @ DRAM):
+    callee(8, x)
+"""
+        p = _parse(src)
+        calls = [s for s in IR.walk_stmts(p.ir().body) if isinstance(s, IR.Call)]
+        assert calls[0].proc.name == "callee"
+
+    def test_while_rejected(self):
+        with pytest.raises(ParseError):
+            _parse(
+                """
+@proc
+def f(x: f32 @ DRAM):
+    while True:
+        x = 0.0
+"""
+            )
+
+    def test_bad_loop_form_rejected(self):
+        with pytest.raises(ParseError):
+            _parse(
+                """
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    for i in range(n):
+        x[i] = 0.0
+"""
+            )
+
+    def test_undefined_variable_rejected(self):
+        with pytest.raises(ParseError):
+            _parse(
+                """
+@proc
+def f(x: f32 @ DRAM):
+    x = q
+"""
+            )
+
+    def test_docstring_skipped(self):
+        p = _parse(
+            '''
+@proc
+def f(x: f32 @ DRAM):
+    """a docstring"""
+    x = 0.0
+'''
+        )
+        assert len(p.ir().body) == 1
+
+
+class TestExpressions:
+    def test_stride_expr(self):
+        p = _parse(
+            """
+@proc
+def f(n: size, x: f32[n, n] @ DRAM):
+    assert stride(x, 1) == 1
+    x[0, 0] = 0.0
+"""
+        )
+        assert isinstance(p.ir().preds[0].lhs, IR.StrideExpr)
+
+    def test_builtin_relu(self):
+        p = _parse(
+            """
+@proc
+def f(x: f32 @ DRAM):
+    x = relu(x)
+"""
+        )
+        assign = p.ir().body[0]
+        assert isinstance(assign.rhs, IR.Extern)
+        assert assign.rhs.f.name == "relu"
+
+    def test_meta_constant_capture(self):
+        TILE = 8
+        src = f"""
+@proc
+def f(x: f32[{TILE}] @ DRAM):
+    for i in seq(0, {TILE}):
+        x[i] = 0.0
+"""
+        p = _parse(src)
+        loop = p.ir().body[0]
+        assert isinstance(loop.hi, IR.Const) and loop.hi.val == 8
+
+    def test_negative_literal(self):
+        p = _parse(
+            """
+@proc
+def f(x: f32 @ DRAM):
+    x = -1.5
+"""
+        )
+        assert p.ir().body[0].rhs.val == -1.5
+
+    def test_config_read_write(self):
+        from repro.core.configs import Config
+        from repro.core import types as T
+
+        Cfg = Config("CfgT", [("v", T.int_t)])
+        p = _parse(
+            """
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    CfgT.v = n
+    x[0] = 0.0
+""",
+            extra={"CfgT": Cfg},
+        )
+        wc = p.ir().body[0]
+        assert isinstance(wc, IR.WriteConfig) and wc.field == "v"
+
+
+class TestInstr:
+    def test_instr_template_attached(self):
+        p = _parse(
+            """
+@instr("do_it({n}, {x});")
+def f(n: size, x: [f32][n] @ DRAM):
+    for i in seq(0, n):
+        x[i] = 0.0
+"""
+        )
+        assert p.is_instr()
+        assert p.ir().instr.c_instr == "do_it({n}, {x});"

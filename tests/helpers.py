@@ -1,0 +1,31 @@
+"""Shared test utilities: differential testing of schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rand_f32(rng, *shape):
+    return (rng.random(shape) - 0.5).astype(np.float32)
+
+
+def rand_i8(rng, *shape, lo=0, hi=3):
+    return rng.integers(lo, hi, shape).astype(np.int8)
+
+
+def assert_equiv(p1, p2, arg_builder, n_trials=3, atol=1e-4, seed=0):
+    """Differential test: run two procedures on identical random inputs and
+    require identical outputs.  ``arg_builder(rng)`` returns the argument
+    list; numpy arrays are treated as in/out buffers."""
+    rng = np.random.default_rng(seed)
+    for _ in range(n_trials):
+        args1 = arg_builder(rng)
+        args2 = [a.copy() if isinstance(a, np.ndarray) else a for a in args1]
+        p1.interpret(*args1)
+        p2.interpret(*args2)
+        for a1, a2 in zip(args1, args2):
+            if isinstance(a1, np.ndarray):
+                if a1.dtype.kind == "f":
+                    np.testing.assert_allclose(a1, a2, atol=atol)
+                else:
+                    np.testing.assert_array_equal(a1, a2)

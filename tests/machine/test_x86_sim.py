@@ -1,0 +1,101 @@
+"""x86 cost model sanity: monotonicity, regimes, baseline relationships."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.baselines import (
+    halide_conv_pct_peak,
+    mkl_sgemm_gflops,
+    onednn_conv_pct_peak,
+    openblas_sgemm_gflops,
+)
+from repro.machine.x86_sim import DEFAULT, X86Params, conv_cost, sgemm_cost
+
+
+class TestSgemmModel:
+    def test_peak(self):
+        assert DEFAULT.peak_gflops == pytest.approx(137.6)
+
+    def test_never_exceeds_peak(self):
+        for n in (64, 256, 1024, 2048):
+            assert sgemm_cost(n, n, n).gflops() <= DEFAULT.peak_gflops
+
+    def test_large_square_near_peak(self):
+        g = sgemm_cost(1024, 1024, 1024).gflops()
+        assert g > 0.75 * DEFAULT.peak_gflops
+
+    def test_flops_exact(self):
+        c = sgemm_cost(128, 128, 128)
+        assert c.flops == 2 * 128**3
+
+    def test_small_sizes_slower(self):
+        assert sgemm_cost(48, 48, 48).gflops() < sgemm_cost(768, 768, 768).gflops()
+
+    def test_l3_spill_traffic_grows(self):
+        # at 2560^3, B no longer fits in L3 and is re-streamed from DRAM:
+        # memory cycles grow super-linearly even though the kernel stays
+        # compute-bound (performance plateaus rather than improving)
+        c_mid = sgemm_cost(1024, 1024, 1024)
+        c_big = sgemm_cost(2560, 2560, 2560)
+        assert c_big.mem_cycles / c_mid.mem_cycles > (2560 / 1024) ** 3 * 0.8
+        assert c_big.gflops() <= c_mid.gflops() * 1.02
+
+    def test_edge_tiles_cost(self):
+        # 65 columns needs a masked tail pass over a second column block
+        g_full = sgemm_cost(768, 768, 512).gflops()
+        g_edge = sgemm_cost(768, 769, 512).gflops()
+        assert g_edge < g_full
+
+    def test_cycles_positive_tiny(self):
+        c = sgemm_cost(1, 1, 1)
+        assert c.cycles > 0 and c.gflops() > 0
+
+
+class TestBaselines:
+    def test_mkl_at_least_exo_everywhere(self):
+        # MKL picks the best tile under the same model, so it can never be
+        # slower than the fixed-tile model minus its overhead advantage
+        for m, n in ((512, 512), (16, 16384), (16384, 16)):
+            assert mkl_sgemm_gflops(m, n, 512) >= 0.95 * sgemm_cost(m, n, 512).gflops()
+
+    def test_openblas_close_to_exo_on_square(self):
+        ge = sgemm_cost(1024, 1024, 1024).gflops()
+        go = openblas_sgemm_gflops(1024, 1024, 1024)
+        assert abs(ge - go) / ge < 0.1
+
+    def test_conv_baselines_cluster(self):
+        exo = conv_cost(5, 102, 82, 128, 128).pct_peak()
+        hal = halide_conv_pct_peak(5, 102, 82, 128, 128)
+        dnn = onednn_conv_pct_peak(5, 102, 82, 128, 128)
+        assert abs(hal - exo) < 0.5
+        assert abs(dnn - exo) < 0.5
+
+
+class TestConvModel:
+    def test_forty_percent_regime(self):
+        pct = conv_cost(5, 102, 82, 128, 128).pct_peak()
+        assert 35.0 < pct < 50.0
+
+    def test_thread_scaling(self):
+        c1 = conv_cost(5, 102, 82, 128, 128, threads=1)
+        c8 = conv_cost(5, 102, 82, 128, 128, threads=8)
+        speedup = c1.cycles / c8.cycles
+        assert 6.0 < speedup <= 8.0
+
+    def test_flop_count(self):
+        c = conv_cost(1, 10, 10, 16, 32)  # OC = one full register tile
+        # 8x8 outputs, 3*3*16 reduction, 32 channels
+        assert c.flops == 2 * (8 * 8) * (3 * 3 * 16) * 32
+
+    def test_more_channels_more_cycles(self):
+        a = conv_cost(1, 34, 34, 64, 64)
+        b = conv_cost(1, 34, 34, 128, 128)
+        assert b.cycles > a.cycles
+
+
+class TestParams:
+    def test_custom_params(self):
+        slow = X86Params(fma_ports=0.5)
+        assert sgemm_cost(512, 512, 512, params=slow).gflops(slow) < \
+            sgemm_cost(512, 512, 512).gflops()

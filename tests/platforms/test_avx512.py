@@ -1,0 +1,81 @@
+"""The AVX-512 hardware library (§7.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MemGenError
+from repro.platforms import avx512 as V
+
+
+class TestInstrSemantics:
+    def test_loadu_store(self):
+        src = np.arange(16, dtype=np.float32)
+        reg = np.zeros(16, dtype=np.float32)
+        V.mm512_loadu_ps.interpret(reg, src)
+        np.testing.assert_array_equal(reg, src)
+        out = np.zeros(16, dtype=np.float32)
+        V.mm512_storeu_ps.interpret(out, reg)
+        np.testing.assert_array_equal(out, src)
+
+    def test_maskz_load(self):
+        src = np.arange(5, dtype=np.float32)
+        reg = np.full(16, 9.0, dtype=np.float32)
+        V.mm512_maskz_loadu_ps.interpret(5, reg, src)
+        np.testing.assert_array_equal(reg[:5], src)
+        assert (reg[5:] == 0).all()  # maskz zeroes the tail
+
+    def test_mask_store(self):
+        reg = np.arange(16, dtype=np.float32)
+        dst = np.full(5, -1.0, dtype=np.float32)
+        V.mm512_mask_storeu_ps.interpret(5, dst, reg)
+        np.testing.assert_array_equal(dst, reg[:5])
+
+    def test_fmadd(self):
+        a = np.full(16, 2.0, dtype=np.float32)
+        b = np.full(16, 3.0, dtype=np.float32)
+        d = np.ones(16, dtype=np.float32)
+        V.mm512_fmadd_ps.interpret(a, b, d)
+        assert (d == 7.0).all()
+
+    def test_fmadd_bcast(self):
+        a = np.asarray(2.0, dtype=np.float32)
+        b = np.arange(16, dtype=np.float32)
+        d = np.zeros(16, dtype=np.float32)
+        V.mm512_fmadd_bcast_ps.interpret(a, b, d)
+        np.testing.assert_array_equal(d, 2.0 * b)
+
+    def test_relu_store(self):
+        reg = np.linspace(-1, 1, 16).astype(np.float32)
+        dst = np.zeros(16, dtype=np.float32)
+        V.mm512_relu_storeu_ps.interpret(dst, reg)
+        np.testing.assert_array_equal(dst, np.maximum(reg, 0))
+
+    def test_setzero(self):
+        reg = np.ones(16, dtype=np.float32)
+        V.mm512_setzero_ps.interpret(reg)
+        assert reg.sum() == 0
+
+
+class TestMemory:
+    def test_register_memory_not_addressable(self):
+        assert not V.AVX512.addressable
+        with pytest.raises(MemGenError):
+            V.AVX512.window(None, "x", ["0"], ["1"], None)
+
+    def test_aligned_alloc(self):
+        code = V.AVX512.alloc("v", "float", ["6", "64"], None)
+        assert "aligned(64)" in code
+
+
+class TestCodegen:
+    def test_intrinsics_in_generated_c(self):
+        from repro.apps.x86_sgemm import make_microkernel
+
+        _algo, sched = make_microkernel(6, 4)
+        c = sched.c_code()
+        assert "_mm512_fmadd_ps" in c
+        assert "_mm512_set1_ps" in c
+        assert "_mm512_storeu_ps" in c
+        assert "aligned(64)" in c

@@ -1,0 +1,121 @@
+"""The Gemmini hardware library (§7.1): semantics and codegen."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MemGenError
+from repro.platforms import gemmini as G
+
+
+class TestInstrSemantics:
+    """@instr bodies are the semantic spec: execute them directly."""
+
+    def test_ld_i8(self):
+        src = np.arange(64, dtype=np.int8).reshape(8, 8)
+        dst = np.zeros((4, 16), dtype=np.int8)
+        G.do_ld_i8.interpret(
+            4, 8, src[0:4, 0:8], dst,
+            config_state={(G.ConfigLoad, "src_stride"): 8},
+        )
+        np.testing.assert_array_equal(dst[:, :8], src[:4])
+
+    def test_ld_i8_stride_assert_fails(self):
+        from repro.core.interp import InterpError
+
+        src = np.zeros((8, 8), dtype=np.int8)
+        dst = np.zeros((4, 16), dtype=np.int8)
+        with pytest.raises(InterpError):
+            G.do_ld_i8.interpret(
+                4, 8, src[0:4, 0:8], dst,
+                config_state={(G.ConfigLoad, "src_stride"): 999},
+            )
+
+    def test_matmul_acc(self):
+        a = np.ones((16, 16), dtype=np.int8)
+        b = np.full((16, 16), 2, dtype=np.int8)
+        res = np.zeros((16, 16), dtype=np.int32)
+        G.matmul_acc_i8.interpret(16, 16, 16, a, b, res)
+        np.testing.assert_array_equal(res, np.full((16, 16), 32))
+        # accumulates on repeat
+        G.matmul_acc_i8.interpret(16, 16, 16, a, b, res)
+        np.testing.assert_array_equal(res, np.full((16, 16), 64))
+
+    def test_store_relu(self):
+        src = np.arange(-8, 8, dtype=np.int32).reshape(1, 16).repeat(16, 0)
+        src16 = np.ascontiguousarray(src[:16, :16])
+        dst = np.zeros((16, 16), dtype=np.int8)
+        G.do_st_acc_i8.interpret(
+            16, 16, src16, dst,
+            config_state={(G.ConfigStore, "dst_stride"): 16},
+        )
+        assert (dst >= 0).all()
+        np.testing.assert_array_equal(dst, np.maximum(src16, 0).astype(np.int8))
+
+    def test_zero_acc(self):
+        dst = np.ones((16, 16), dtype=np.int32)
+        G.zero_acc_i32.interpret(16, 16, dst)
+        assert dst.sum() == 0
+
+    def test_config_instr_sets_state(self):
+        state = G.config_ld.interpret(64)
+        assert state[(G.ConfigLoad, "src_stride")] == 64
+
+
+class TestMemories:
+    def test_scratchpad_not_addressable(self):
+        assert not G.SCRATCHPAD.addressable
+        with pytest.raises(MemGenError):
+            G.SCRATCHPAD.window(None, "x", ["0"], ["1"], None)
+
+    def test_accum_not_addressable(self):
+        assert not G.ACCUM.addressable
+
+    def test_scratchpad_alloc_code(self):
+        code = G.SCRATCHPAD.alloc("buf", "int8_t", ["16", "16"], None)
+        assert "gemmini_spad_malloc" in code
+
+
+class TestConfigs:
+    def test_disaggregated_configs_are_orthogonal(self):
+        """§7.1 co-design: the post-co-design interface has one config
+        struct per functional unit, so a load-config write cannot perturb
+        the store or execute units."""
+        fields = lambda c: {f.name for f in c.fields()}
+        assert fields(G.ConfigLoad) == {"src_stride"}
+        assert fields(G.ConfigStore) == {"dst_stride"}
+        assert fields(G.ConfigLoad) & fields(G.ConfigMatmul) == set()
+
+    def test_v1_interface_is_entangled(self):
+        names = {f.name for f in G.ConfigAllV1.fields()}
+        assert {"src_stride", "dst_stride", "ex_mode"} <= names
+
+    def test_codesign_surface_area(self):
+        """The co-design claim (§7.1: 46 C-library lines vs 5 Exo lines):
+        switching config interfaces touches only the config instructions in
+        the Exo hardware library -- the compute/DMA instruction definitions
+        reference the config objects, not their layout."""
+        import inspect
+
+        src = inspect.getsource(G)
+        # the only mentions of the entangled V1 interface are its definition
+        # and this module's documentation: no instruction depends on it
+        assert src.count("ConfigAllV1") <= 3
+
+
+class TestCodegen:
+    def test_fused_template(self):
+        from repro.apps.gemmini_matmul import matmul_oldlib
+
+        c = matmul_oldlib().c_code()
+        assert "gemmini_extended_config_ld" in c
+        assert "gemmini_extended_mvin" in c
+
+    def test_split_templates_hoisted(self):
+        from repro.apps.gemmini_matmul import matmul_exo
+
+        c = matmul_exo().c_code()
+        # exactly one config_ld in the whole kernel (hoisted)
+        assert c.count("gemmini_extended_config_ld(") == 1
+        assert "gemmini_extended_preload" in c

@@ -1,0 +1,100 @@
+"""Property: any accepted composition of rewrites preserves semantics.
+
+A small pool of scheduling actions is applied in random order to a stencil
+kernel; actions the checker rejects are skipped.  Whatever survives must
+compute exactly what the original computes -- this is the paper's core
+guarantee (scheduling never changes meaning), tested as a property.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SchedulingError
+from repro.api import procs_from_source
+
+HEADER = (
+    "from __future__ import annotations\n"
+    "from repro import proc, DRAM, f32, size, relu\n"
+)
+
+
+def _fresh_kernel():
+    return list(
+        procs_from_source(
+            HEADER
+            + """
+@proc
+def stencil(n: size, x: f32[n + 2] @ DRAM, y: f32[n] @ DRAM,
+            w: f32[3] @ DRAM):
+    assert n % 8 == 0
+    for i in seq(0, n):
+        acc: f32
+        acc = 0.0
+        for k in seq(0, 3):
+            acc += x[i + k] * w[k]
+        y[i] = relu(acc)
+"""
+        ).values()
+    )[-1]
+
+
+_ACTIONS = [
+    ("split8", lambda p: p.split("for i in _: _ #0", 8, "io", "ii", tail="perfect")),
+    ("split4g", lambda p: p.split("for i in _: _ #0", 4, "i4", "i4i", tail="guard")),
+    ("split2c", lambda p: p.split("for i in _: _ #0", 2, "i2", "i2i", tail="cut")),
+    ("unroll_k", lambda p: p.unroll("for k in _: _ #0")),
+    ("bind_w", lambda p: p.bind_expr("wv", "w[k]")),
+    ("lift_acc", lambda p: p.expand_dim("acc : _", "n", "i").lift_alloc("acc : _")),
+    ("partition", lambda p: p.partition_loop("for i in _: _ #0", 8)),
+    ("fiss", lambda p: p.fission_after("acc = 0.0")),
+]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    order=st.permutations(range(len(_ACTIONS))),
+    depth=st.integers(1, 4),
+    seed=st.integers(0, 2**16),
+)
+def test_random_schedules_preserve_semantics(order, depth, seed):
+    p0 = _fresh_kernel()
+    p = p0
+    applied = []
+    for idx in order[:depth]:
+        name, action = _ACTIONS[idx]
+        try:
+            p = action(p)
+            applied.append(name)
+        except SchedulingError:
+            continue
+    rng = np.random.default_rng(seed)
+    n = 16
+    x = (rng.random(n + 2) - 0.5).astype(np.float32)
+    w = (rng.random(3) - 0.5).astype(np.float32)
+    y0 = np.zeros(n, np.float32)
+    y1 = np.zeros(n, np.float32)
+    p0.interpret(n, x.copy(), y0, w.copy())
+    p.interpret(n, x.copy(), y1, w.copy())
+    np.testing.assert_allclose(y0, y1, atol=1e-5, err_msg=f"applied={applied}")
+
+
+def test_all_single_actions_apply_or_reject_cleanly():
+    for name, action in _ACTIONS:
+        p = _fresh_kernel()
+        try:
+            q = action(p)
+        except SchedulingError:
+            continue
+        n = 8
+        rng = np.random.default_rng(1)
+        x = (rng.random(n + 2) - 0.5).astype(np.float32)
+        w = (rng.random(3) - 0.5).astype(np.float32)
+        y0 = np.zeros(n, np.float32)
+        y1 = np.zeros(n, np.float32)
+        p.interpret(n, x.copy(), y0, w.copy())
+        q.interpret(n, x.copy(), y1, w.copy())
+        np.testing.assert_allclose(y0, y1, atol=1e-5, err_msg=name)

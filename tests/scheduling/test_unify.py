@@ -1,0 +1,237 @@
+"""Unification-based replace() (§3.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SchedulingError
+from repro.api import procs_from_source
+from repro.core import ast as IR
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import assert_equiv, rand_f32  # noqa: E402
+
+HEADER = (
+    "from __future__ import annotations\n"
+    "from repro import proc, instr, DRAM, f32, size\n"
+)
+
+
+def _procs(body, extra=None):
+    return procs_from_source(HEADER + body, extra_globals=extra)
+
+
+class TestBasicReplace:
+    def test_replace_loop_with_call(self):
+        ps = _procs(
+            """
+@proc
+def zero_row(m: size, dst: [f32][m] @ DRAM):
+    for j in seq(0, m):
+        dst[j] = 0.0
+
+@proc
+def f(A: f32[8, 8] @ DRAM):
+    for i in seq(0, 8):
+        for j in seq(0, 8):
+            A[i, j] = 0.0
+"""
+        )
+        f, zero_row = ps["f"], ps["zero_row"]
+        g = f.replace(zero_row, "for j in _: _")
+        calls = [s for s in IR.walk_stmts(g.ir().body) if isinstance(s, IR.Call)]
+        assert len(calls) == 1
+        # the size argument m was solved to 8
+        assert calls[0].args[0].val == 8
+        assert_equiv(f, g, lambda rng: [rand_f32(rng, 8, 8)])
+
+    def test_window_offset_inference(self):
+        ps = _procs(
+            """
+@proc
+def zero_tile(dst: [f32][4, 4] @ DRAM):
+    for a in seq(0, 4):
+        for b in seq(0, 4):
+            dst[a, b] = 0.0
+
+@proc
+def f(A: f32[16, 16] @ DRAM):
+    for io in seq(0, 4):
+        for jo in seq(0, 4):
+            for a in seq(0, 4):
+                for b in seq(0, 4):
+                    A[4 * io + a, 4 * jo + b] = 0.0
+"""
+        )
+        f, zt = ps["f"], ps["zero_tile"]
+        g = f.replace(zt, "for a in _: _")
+        call = [s for s in IR.walk_stmts(g.ir().body) if isinstance(s, IR.Call)][0]
+        win = call.args[0]
+        assert isinstance(win, IR.WindowExpr)
+        assert_equiv(f, g, lambda rng: [rand_f32(rng, 16, 16)])
+
+    def test_point_dim_inference(self):
+        ps = _procs(
+            """
+@proc
+def zero_row(m: size, dst: [f32][m] @ DRAM):
+    for j in seq(0, m):
+        dst[j] = 0.0
+
+@proc
+def f(A: f32[8, 8] @ DRAM):
+    for i in seq(0, 8):
+        for j in seq(0, 8):
+            A[i, j] = 0.0
+"""
+        )
+        g = ps["f"].replace(ps["zero_row"], "for j in _: _")
+        call = [s for s in IR.walk_stmts(g.ir().body) if isinstance(s, IR.Call)][0]
+        win = call.args[1]
+        assert isinstance(win, IR.WindowExpr)
+        kinds = [type(w).__name__ for w in win.idx]
+        assert kinds == ["Point", "Interval"]
+
+    def test_mismatched_shape_rejected(self):
+        ps = _procs(
+            """
+@proc
+def adder(m: size, dst: [f32][m] @ DRAM):
+    for j in seq(0, m):
+        dst[j] += 1.0
+
+@proc
+def f(A: f32[8] @ DRAM):
+    for j in seq(0, 8):
+        A[j] = 1.0
+"""
+        )
+        with pytest.raises(SchedulingError):
+            ps["f"].replace(ps["adder"], "for j in _: _")
+
+    def test_instr_selection(self):
+        ps = _procs(
+            """
+@instr("vzero({dst});")
+def vzero(dst: [f32][8] @ DRAM):
+    for l in seq(0, 8):
+        dst[l] = 0.0
+
+@proc
+def f(A: f32[32] @ DRAM):
+    for io in seq(0, 4):
+        for l in seq(0, 8):
+            A[8 * io + l] = 0.0
+"""
+        )
+        g = ps["f"].replace(ps["vzero"], "for l in _: _")
+        assert "vzero(" in g.c_code()
+        assert_equiv(ps["f"], g, lambda rng: [rand_f32(rng, 32)])
+
+    def test_scalar_element_argument(self):
+        ps = _procs(
+            """
+@instr("saxpy({a}, {x}, {y});")
+def saxpy1(a: f32 @ DRAM, x: [f32][8] @ DRAM, y: [f32][8] @ DRAM):
+    for l in seq(0, 8):
+        y[l] += a * x[l]
+
+@proc
+def f(A: f32[4] @ DRAM, X: f32[8] @ DRAM, Y: f32[8] @ DRAM):
+    for i in seq(0, 4):
+        for l in seq(0, 8):
+            Y[l] += A[i] * X[l]
+"""
+        )
+        g = ps["f"].replace(ps["saxpy1"], "for l in _: _")
+        call = [s for s in IR.walk_stmts(g.ir().body) if isinstance(s, IR.Call)][0]
+        a_arg = call.args[0]
+        assert isinstance(a_arg, IR.Read) and a_arg.idx
+        assert_equiv(
+            ps["f"], g,
+            lambda rng: [rand_f32(rng, 4), rand_f32(rng, 8), rand_f32(rng, 8)],
+        )
+
+    def test_guard_matching(self):
+        ps = _procs(
+            """
+@proc
+def guarded(n: size, m: size, dst: [f32][m] @ DRAM):
+    for j in seq(0, m):
+        if j < n:
+            dst[j] = 0.0
+
+@proc
+def f(n: size, A: f32[8] @ DRAM):
+    assert n <= 8
+    for j in seq(0, 8):
+        if j < n:
+            A[j] = 0.0
+"""
+        )
+        g = ps["f"].replace(ps["guarded"], "for j in _: _")
+        call = [s for s in IR.walk_stmts(g.ir().body) if isinstance(s, IR.Call)][0]
+        assert call.proc.name == "guarded"
+
+    def test_structural_mismatch_rejected(self):
+        ps = _procs(
+            """
+@proc
+def two_stmts(dst: [f32][4] @ DRAM):
+    dst[0] = 0.0
+    dst[1] = 0.0
+
+@proc
+def f(A: f32[4] @ DRAM):
+    A[0] = 0.0
+"""
+        )
+        with pytest.raises(SchedulingError):
+            ps["f"].replace(ps["two_stmts"], "A[_] = 0.0")
+
+    def test_operator_mismatch_rejected(self):
+        ps = _procs(
+            """
+@proc
+def muler(dst: [f32][4] @ DRAM):
+    for j in seq(0, 4):
+        dst[j] = dst[j] * 2.0
+
+@proc
+def f(A: f32[4] @ DRAM):
+    for j in seq(0, 4):
+        A[j] = A[j] + 2.0
+"""
+        )
+        with pytest.raises(SchedulingError):
+            ps["f"].replace(ps["muler"], "for j in _: _")
+
+
+class TestReplaceAll:
+    def test_replace_all_multiple_sites(self):
+        ps = _procs(
+            """
+@instr("vcopy({dst}, {src});")
+def vcopy(dst: [f32][8] @ DRAM, src: [f32][8] @ DRAM):
+    for l in seq(0, 8):
+        dst[l] = src[l]
+
+@proc
+def f(A: f32[8] @ DRAM, B: f32[8] @ DRAM, C: f32[8] @ DRAM):
+    for l in seq(0, 8):
+        B[l] = A[l]
+    for l in seq(0, 8):
+        C[l] = B[l]
+"""
+        )
+        g = ps["f"].replace_all(ps["vcopy"])
+        calls = [s for s in IR.walk_stmts(g.ir().body) if isinstance(s, IR.Call)]
+        assert len(calls) == 2
+        assert_equiv(
+            ps["f"], g,
+            lambda rng: [rand_f32(rng, 8), rand_f32(rng, 8), rand_f32(rng, 8)],
+        )

@@ -1,0 +1,258 @@
+"""Unit + property tests for the Omega test / Cooper projection."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.prelude import Sym
+from repro.smt.omega import (
+    DIV,
+    EQ,
+    GEQ,
+    Constraint,
+    Infeasible,
+    LinExpr,
+    feasible,
+    normalize,
+    project,
+)
+
+
+def lin(coeffs, const):
+    return LinExpr.make(coeffs, const)
+
+
+class TestLinExpr:
+    def test_make_drops_zero_coeffs(self):
+        x = Sym("x")
+        assert lin({x: 0}, 3).coeffs == ()
+
+    def test_add(self):
+        x, y = Sym("x"), Sym("y")
+        a = lin({x: 2, y: 1}, 3)
+        b = lin({x: -2, y: 5}, -1)
+        c = a.add(b)
+        assert c.coeff_of(x) == 0
+        assert c.coeff_of(y) == 6
+        assert c.const == 2
+
+    def test_scale(self):
+        x = Sym("x")
+        assert lin({x: 2}, 3).scale(-2) == lin({x: -4}, -6)
+
+    def test_subst(self):
+        x, y = Sym("x"), Sym("y")
+        a = lin({x: 3, y: 1}, 0)
+        out = a.subst(x, lin({y: 2}, 1))
+        assert out == lin({y: 7}, 3)
+
+
+class TestNormalize:
+    def test_constant_contradiction_geq(self):
+        with pytest.raises(Infeasible):
+            normalize([Constraint(LinExpr.constant(-1), GEQ)])
+
+    def test_constant_contradiction_eq(self):
+        with pytest.raises(Infeasible):
+            normalize([Constraint(LinExpr.constant(2), EQ)])
+
+    def test_gcd_tightening(self):
+        # 2x - 1 >= 0 tightens to x - 1 >= 0 (x >= 1 over integers)
+        x = Sym("x")
+        (out,) = normalize([Constraint(lin({x: 2}, -1), GEQ)])
+        assert out.expr == lin({x: 1}, -1)
+
+    def test_eq_divisibility_contradiction(self):
+        x = Sym("x")
+        with pytest.raises(Infeasible):
+            normalize([Constraint(lin({x: 2}, 1), EQ)])  # 2x + 1 = 0
+
+    def test_div_constant(self):
+        with pytest.raises(Infeasible):
+            normalize([Constraint(LinExpr.constant(3), DIV, 2)])
+        assert normalize([Constraint(LinExpr.constant(4), DIV, 2)]) == []
+
+
+class TestFeasible:
+    def test_simple_sat(self):
+        x = Sym("x")
+        assert feasible([Constraint(lin({x: 1}, -5), GEQ)])  # x >= 5
+
+    def test_between_bounds(self):
+        x = Sym("x")
+        cons = [
+            Constraint(lin({x: 1}, -3), GEQ),  # x >= 3
+            Constraint(lin({x: -1}, 3), GEQ),  # x <= 3
+        ]
+        assert feasible(cons)
+        cons2 = [
+            Constraint(lin({x: 1}, -4), GEQ),
+            Constraint(lin({x: -1}, 3), GEQ),
+        ]
+        assert not feasible(cons2)
+
+    def test_dark_shadow_gap(self):
+        # 3x in [10, 11] has no integer solution
+        x = Sym("x")
+        cons = [
+            Constraint(lin({x: 3}, -10), GEQ),
+            Constraint(lin({x: -3}, 11), GEQ),
+        ]
+        assert not feasible(cons)
+
+    def test_splinter_needed(self):
+        # 3x >= 10 and 2x <= 9: x = 4 works (12 >= 10, 8 <= 9)
+        x = Sym("x")
+        cons = [
+            Constraint(lin({x: 3}, -10), GEQ),
+            Constraint(lin({x: -2}, 9), GEQ),
+        ]
+        assert feasible(cons)
+
+    def test_equality_substitution(self):
+        x, y = Sym("x"), Sym("y")
+        cons = [
+            Constraint(lin({x: 1, y: -2}, 0), EQ),  # x = 2y
+            Constraint(lin({x: 1}, -7), GEQ),  # x >= 7
+            Constraint(lin({x: -1}, 8), GEQ),  # x <= 8
+        ]
+        assert feasible(cons)  # x = 8, y = 4
+
+    def test_equality_mod_reduction(self):
+        # 7x + 12y = 1 solvable (gcd 1); 6x + 12y = 1 is not
+        x, y = Sym("x"), Sym("y")
+        assert feasible([Constraint(lin({x: 7, y: 12}, -1), EQ)])
+        assert not feasible([Constraint(lin({x: 6, y: 12}, -1), EQ)])
+
+    def test_divisibility(self):
+        x = Sym("x")
+        cons = [
+            Constraint(lin({x: 1}, 0), DIV, 4),  # 4 | x
+            Constraint(lin({x: 1}, -1), GEQ),  # x >= 1
+            Constraint(lin({x: -1}, 3), GEQ),  # x <= 3
+        ]
+        assert not feasible(cons)
+        cons[2] = Constraint(lin({x: -1}, 4), GEQ)  # x <= 4
+        assert feasible(cons)
+
+    def test_tiling_disjointness(self):
+        # 16a + b == 16c + d, 0<=b,d<16, a < c: infeasible
+        a, b, c, d = (Sym(n) for n in "abcd")
+        cons = [
+            Constraint(lin({a: 16, b: 1, c: -16, d: -1}, 0), EQ),
+            Constraint(lin({b: 1}, 0), GEQ),
+            Constraint(lin({b: -1}, 15), GEQ),
+            Constraint(lin({d: 1}, 0), GEQ),
+            Constraint(lin({d: -1}, 15), GEQ),
+            Constraint(lin({c: 1, a: -1}, -1), GEQ),  # c >= a + 1
+        ]
+        assert not feasible(cons)
+
+
+class TestProject:
+    def test_project_equality_unit(self):
+        # exists x. x = y + 1 and x >= 3  ->  y >= 2
+        x, y = Sym("x"), Sym("y")
+        cons = [
+            Constraint(lin({x: 1, y: -1}, -1), EQ),
+            Constraint(lin({x: 1}, -3), GEQ),
+        ]
+        (out,) = project(cons, [x])
+        assert out == [Constraint(lin({y: 1}, -2), GEQ)]
+
+    def test_project_equality_coefficient(self):
+        # exists x. 3x = y  ->  3 | y
+        x, y = Sym("x"), Sym("y")
+        cons = [Constraint(lin({x: 3, y: -1}, 0), EQ)]
+        (out,) = project(cons, [x])
+        assert any(c.kind == DIV and c.divisor == 3 for c in out)
+
+    def test_project_inequalities_exact(self):
+        # exists x. y <= x <= z  ->  y <= z
+        x, y, z = Sym("x"), Sym("y"), Sym("z")
+        cons = [
+            Constraint(lin({x: 1, y: -1}, 0), GEQ),
+            Constraint(lin({x: -1, z: 1}, 0), GEQ),
+        ]
+        (out,) = project(cons, [x])
+        assert out == [Constraint(lin({z: 1, y: -1}, 0), GEQ)]
+
+    def test_project_cooper_divisibility(self):
+        # exists x. 2x <= y <= 2x + 1 is always true: projection must be
+        # satisfiable for every y in a small range
+        x, y = Sym("x"), Sym("y")
+        cons = [
+            Constraint(lin({y: 1, x: -2}, 0), GEQ),
+            Constraint(lin({y: -1, x: 2}, 1), GEQ),
+        ]
+        disjuncts = project(cons, [x])
+        assert disjuncts
+        for yv in range(-4, 5):
+            ok = any(
+                feasible(
+                    [c.subst(y, LinExpr.constant(yv)) for c in d]
+                )
+                for d in disjuncts
+            )
+            assert ok, f"y={yv} wrongly excluded"
+
+    def test_project_preserves_free_var_meaning(self):
+        # exists x. y = 2x  ->  y even; verify on concrete values
+        x, y = Sym("x"), Sym("y")
+        cons = [Constraint(lin({y: 1, x: -2}, 0), EQ)]
+        disjuncts = project(cons, [x])
+        for yv in range(-6, 7):
+            got = any(
+                feasible([c.subst(y, LinExpr.constant(yv)) for c in d])
+                for d in disjuncts
+            )
+            assert got == (yv % 2 == 0)
+
+
+# -- property-based: compare against brute force ------------------------------
+
+_VARS = [Sym("p"), Sym("q")]
+
+
+@st.composite
+def small_systems(draw):
+    n = draw(st.integers(1, 4))
+    cons = []
+    for _ in range(n):
+        coeffs = {v: draw(st.integers(-4, 4)) for v in _VARS}
+        const = draw(st.integers(-10, 10))
+        kind = draw(st.sampled_from([GEQ, EQ]))
+        cons.append(Constraint(LinExpr.make(coeffs, const), kind))
+    # keep systems bounded so brute force over [-12, 12]^2 is conclusive
+    for v in _VARS:
+        cons.append(Constraint(LinExpr.make({v: 1}, 12), GEQ))
+        cons.append(Constraint(LinExpr.make({v: -1}, 12), GEQ))
+    return cons
+
+
+def _brute_force(cons):
+    for pv, qv in itertools.product(range(-12, 13), repeat=2):
+        ok = True
+        for c in cons:
+            val = c.expr.const
+            val += c.expr.coeff_of(_VARS[0]) * pv
+            val += c.expr.coeff_of(_VARS[1]) * qv
+            if c.kind == GEQ and val < 0:
+                ok = False
+                break
+            if c.kind == EQ and val != 0:
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+@settings(max_examples=80, deadline=None)
+@given(cons=small_systems())
+def test_feasible_matches_brute_force(cons):
+    assert feasible(cons) == _brute_force(cons)
