@@ -1,12 +1,38 @@
-"""Shared benchmark fixtures and helpers."""
+"""Shared benchmark fixtures and helpers.
+
+The harness traces every benchmark run through :mod:`repro.obs` and, at
+session end, writes ``BENCH_obs.json`` next to the figures: per-phase
+compile-time breakdown, span timings, and SMT query/cache statistics — so
+the perf trajectory across PRs is machine-readable, not just eyeballed
+from the tables.
+"""
 
 from __future__ import annotations
+
+import json
+import os
 
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.machine.gemmini_sim import GemminiSim
 from repro.machine.trace import trace_kernel
+
+_OBS_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_obs.json")
+
+
+def pytest_configure(config):
+    obs.enable()
+    obs.reset()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    data = obs.profile_dict()
+    data["exit_status"] = int(exitstatus)
+    with open(_OBS_PATH, "w") as f:
+        json.dump(data, f, indent=2, sort_keys=True)
+        f.write("\n")
 
 
 @pytest.fixture(scope="session")

@@ -13,6 +13,7 @@ The package provides:
   (:mod:`repro.machine`).
 """
 
+from . import obs
 from .api import Procedure, compile_procs, config, instr, proc, set_check_mode
 from .core import types as _T
 from .core.builtins import fmax, fmin, relu, select, sqrt
@@ -41,6 +42,7 @@ stride = _T.stride_t
 __version__ = "1.0.0"
 
 __all__ = [
+    "obs",
     "Procedure",
     "proc",
     "instr",

@@ -32,6 +32,8 @@ from .core.prelude import SchedulingError
 from .core.typecheck import typecheck_proc
 from .effects.api import checks_enabled, set_check_mode
 from .frontend.parser import parse_function
+from .obs import journal as _journal
+from .obs import trace as _obs
 from .scheduling import primitives as P
 from .scheduling import unify as U
 from .scheduling.eqv import EqvNode, eqv_pollution
@@ -55,6 +57,10 @@ class Procedure:
                  _checked: bool = False):
         self._loopir_proc = loopir_proc
         self._eqv = _eqv or EqvNode()
+        #: provenance journal: the directives that derived this procedure
+        #: from its root ``@proc`` (maintained by the ``_journaled`` hook)
+        self._journal: tuple = ()
+        self._root: "Procedure" = self
         _EQV_OF_IR[id(loopir_proc)] = self._eqv
         if not _checked and checks_enabled():
             _frontend_check(loopir_proc)
@@ -75,6 +81,20 @@ class Procedure:
 
     def __repr__(self):
         return f"<Procedure {self.name()}>"
+
+    # -- provenance ------------------------------------------------------------
+
+    def schedule_log(self) -> list:
+        """The provenance journal: every directive (name, arguments, match
+        pattern, check verdict) that derived this procedure from its root
+        ``@proc``, in application order."""
+        return list(self._journal)
+
+    def replay_schedule(self, base: "Procedure | None" = None) -> "Procedure":
+        """Re-derive this procedure by replaying its journal against
+        ``base`` (default: the root ``@proc`` it was derived from)."""
+        return _journal.replay(base if base is not None else self._root,
+                               self._journal)
 
     # -- execution & compilation ------------------------------------------------
 
@@ -286,6 +306,56 @@ class Procedure:
     def delete_pass(self) -> "Procedure":
         ir, pol = P.delete_pass(self._loopir_proc)
         return self._derive(ir, pol)
+
+
+# ---------------------------------------------------------------------------
+# Provenance + tracing hooks for every scheduling directive
+# ---------------------------------------------------------------------------
+#
+# Each public directive is wrapped so that (a) its wall time is traced under
+# ``sched.directive.<name>``, (b) the derived procedure's journal extends its
+# parent's with a RewriteRecord (directive, args, match pattern, verdict),
+# and (c) rejected rewrites land in ``repro.obs.journal.FAILED_LOG`` while
+# tracing is enabled.  ``schedule_log()`` / ``replay_schedule()`` above are
+# the read side.
+
+_DIRECTIVES = (
+    "rename", "simplify", "split", "reorder", "unroll", "inline",
+    "set_memory", "set_precision", "call_eqv", "bind_expr", "stage_mem",
+    "bind_config", "expand_dim", "lift_alloc", "fission_after",
+    "reorder_stmts", "reorder_before", "configwrite_at", "configwrite_root",
+    "replace", "replace_all", "add_guard", "fuse_loop", "lift_if",
+    "partition_loop", "remove_loop", "delete_pass",
+)
+
+
+def _journaled(name, fn):
+    @functools.wraps(fn)
+    def wrapped(self, *args, **kwargs):
+        try:
+            with _obs.span(f"sched.directive.{name}"):
+                out = fn(self, *args, **kwargs)
+        except SchedulingError as err:
+            if _obs.enabled():
+                _journal.record_failure(self.name(), name, args, err)
+            raise
+        if isinstance(out, Procedure) and out is not self:
+            verdict = (
+                _journal.VERDICT_OK if checks_enabled()
+                else _journal.VERDICT_UNCHECKED
+            )
+            out._journal = self._journal + (
+                _journal.make_record(name, args, kwargs, verdict),
+            )
+            out._root = self._root
+        return out
+
+    return wrapped
+
+
+for _dname in _DIRECTIVES:
+    setattr(Procedure, _dname, _journaled(_dname, getattr(Procedure, _dname)))
+del _dname
 
 
 def _candidate_blocks(proc: IR.Proc, callee: IR.Proc):

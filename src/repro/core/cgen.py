@@ -535,8 +535,11 @@ def compile_procs(procs, header_comment="") -> str:
     """Compile a list of procedures into one C translation unit.
 
     Accepts raw IR procs or public ``Procedure`` wrappers."""
-    comp = Compiler()
-    for p in procs:
-        ir = getattr(p, "_loopir_proc", p)
-        comp.add_proc(ir)
-    return comp.source(header_comment)
+    from ..obs import trace as _obs
+
+    with _obs.span("codegen.compile"):
+        comp = Compiler()
+        for p in procs:
+            ir = getattr(p, "_loopir_proc", p)
+            comp.add_proc(ir)
+        return comp.source(header_comment)

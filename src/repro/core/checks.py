@@ -13,6 +13,7 @@
 
 from __future__ import annotations
 
+from ..obs import trace as _obs
 from ..smt import terms as S
 from ..smt.solver import DEFAULT_SOLVER
 from . import ast as IR
@@ -30,6 +31,11 @@ def _prove(assumptions, goal, solver=None):
 
 def bounds_check(proc: IR.Proc, solver=None):
     """Prove every access in ``proc`` in-bounds; raise on failure."""
+    with _obs.span("effects.bounds_check"):
+        _bounds_check(proc, solver)
+
+
+def _bounds_check(proc: IR.Proc, solver=None):
     base = proc_assumptions(proc)
     errors = []
 
@@ -90,6 +96,11 @@ def bounds_check(proc: IR.Proc, solver=None):
 
 def assert_check(proc: IR.Proc, solver=None):
     """Prove every call's preconditions; raise on failure."""
+    with _obs.span("effects.assert_check"):
+        _assert_check(proc, solver)
+
+
+def _assert_check(proc: IR.Proc, solver=None):
     base = proc_assumptions(proc)
     errors = []
 

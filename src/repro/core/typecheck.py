@@ -19,13 +19,15 @@ from __future__ import annotations
 
 from dataclasses import replace as dc_replace
 
+from ..obs import trace as _obs
 from . import ast as IR
 from . import types as T
 from .prelude import Sym, TypeCheckError
 
 
 def typecheck_proc(proc: IR.Proc) -> IR.Proc:
-    return _TypeChecker().check_proc(proc)
+    with _obs.span("typecheck.proc"):
+        return _TypeChecker().check_proc(proc)
 
 
 class _TypeChecker:

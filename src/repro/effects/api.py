@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from ..core import ast as IR
 from ..core.dataflow import GlobalState, state_before
+from ..obs import trace as _obs
 from ..core.ir2smt import proc_assumptions
 from ..core.prelude import SchedulingError, Sym
 from ..smt import terms as S
@@ -68,7 +69,8 @@ class Ctx:
     def __init__(self, proc: IR.Proc, path):
         self.proc = proc
         self.path = tuple(path)
-        facts, state, tenv = state_before(proc, path)
+        with _obs.span("effects.context"):
+            facts, state, tenv = state_before(proc, path)
         self.facts = facts
         self.state = state
         self.tenv = tenv
@@ -178,10 +180,11 @@ def _commutes_globals(
 def check_commutes(ctx: Ctx, a1, a2, what="reorder", fission_pair=None):
     if not checks_enabled():
         return
-    errors = _commutes_buffers(ctx.assumptions, a1, a2, what)
-    errors += _commutes_globals(
-        ctx.assumptions, a1, a2, ctx.state, what, fission_pair
-    )
+    with _obs.span("effects.commutes"):
+        errors = _commutes_buffers(ctx.assumptions, a1, a2, what)
+        errors += _commutes_globals(
+            ctx.assumptions, a1, a2, ctx.state, what, fission_pair
+        )
     if errors:
         raise SchedulingError("\n".join(errors))
 
@@ -322,6 +325,11 @@ def check_shadows(ctx: Ctx, a1, a2, what="shadow"):
     """Definition 5.7: everything a1 modifies, a2 overwrites without reading."""
     if not checks_enabled():
         return
+    with _obs.span("effects.shadows"):
+        return _check_shadows(ctx, a1, a2, what)
+
+
+def _check_shadows(ctx: Ctx, a1, a2, what):
     errors = []
     bufs1, bufs2 = buffers_of(a1), buffers_of(a2)
     for root, rank in bufs1.items():

@@ -39,6 +39,13 @@ def get_src_locals_globals(fn):
 
 def parse_function(fn, instr_info=None) -> IR.Proc:
     """Parse a decorated Python function into a LoopIR procedure."""
+    from ..obs import trace as _obs
+
+    with _obs.span("parse.function"):
+        return _parse_function(fn, instr_info)
+
+
+def _parse_function(fn, instr_info=None) -> IR.Proc:
     try:
         raw = inspect.getsource(fn)
     except (OSError, TypeError) as exc:

@@ -1,0 +1,93 @@
+"""Render a per-compile profile from the tracer + SMT stats.
+
+Span names use dotted ``phase.detail`` form; the prefix buckets self-time
+into the compile phases the paper's pipeline is made of:
+
+* ``parse``     — front-end parsing (``@proc`` bodies -> IR)
+* ``typecheck`` — the §3.1 type checker
+* ``effects``   — effect extraction and safety-obligation assembly
+* ``smt``       — the decision procedure itself (DNF + Omega)
+* ``sched``     — the rewrite primitives (IR surgery, pattern matching)
+* ``codegen``   — backend checks + C emission
+
+Self-time (total minus enclosed spans) is what gets bucketed, so an SMT
+query issued from inside a bounds check counts toward ``smt``, not
+``effects`` — the phase table always sums to the instrumented wall time.
+
+:func:`compile_profile` renders tables through :mod:`repro.reporting`;
+:func:`profile_dict` returns the same data JSON-ready (this is what the
+benchmark harness writes to ``BENCH_obs.json``).
+"""
+
+from __future__ import annotations
+
+from ..reporting import table
+from . import trace
+from .smtstats import STATS
+
+#: display order for the phase table
+PHASES = ("parse", "typecheck", "effects", "smt", "sched", "codegen", "other")
+
+
+def phase_of(span_name: str) -> str:
+    head = span_name.split(".", 1)[0]
+    return head if head in PHASES else "other"
+
+
+def phase_totals() -> dict:
+    """``{phase: seconds}`` of self-time, bucketed by span-name prefix."""
+    out = {p: 0.0 for p in PHASES}
+    for name, (_count, _total, self_s) in trace.TRACER.span_totals().items():
+        out[phase_of(name)] += self_s
+    return out
+
+
+def profile_dict() -> dict:
+    """The full profile as a JSON-serializable dict."""
+    spans = {
+        name: {"count": c, "total_s": round(tot, 6), "self_s": round(slf, 6)}
+        for name, (c, tot, slf) in sorted(trace.TRACER.span_totals().items())
+    }
+    phases = {p: round(s, 6) for p, s in phase_totals().items() if s > 0.0}
+    smt = STATS.snapshot()
+    from ..smt.solver import DEFAULT_SOLVER
+
+    smt["canonical_cache_entries"] = len(DEFAULT_SOLVER.qcache)
+    return {
+        "phases": phases,
+        "spans": spans,
+        "counters": trace.TRACER.counter_totals(),
+        "smt": smt,
+    }
+
+
+def compile_profile() -> str:
+    """A human-readable per-compile profile (phase, span, and SMT tables)."""
+    prof = profile_dict()
+    total = sum(prof["phases"].values()) or 1.0
+    phase_rows = [
+        (p, f"{s * 1e3:.1f}", f"{100.0 * s / total:.1f}%")
+        for p, s in sorted(prof["phases"].items(), key=lambda kv: -kv[1])
+    ]
+    out = [table("Compile profile (self-time by phase)",
+                 ["phase", "ms", "share"], phase_rows)]
+
+    span_rows = [
+        (name, d["count"], f"{d['total_s'] * 1e3:.1f}", f"{d['self_s'] * 1e3:.1f}")
+        for name, d in sorted(
+            prof["spans"].items(), key=lambda kv: -kv[1]["self_s"]
+        )[:20]
+    ]
+    if span_rows:
+        out.append(table("Top spans", ["span", "count", "total ms", "self ms"],
+                         span_rows))
+
+    smt = prof["smt"]
+    smt_rows = [(k, smt[k]) for k in sorted(smt)]
+    out.append(table("SMT query stats", ["stat", "value"], smt_rows))
+
+    counters = prof["counters"]
+    if counters:
+        out.append(table("Counters", ["counter", "value"],
+                         sorted(counters.items())))
+    return "\n\n".join(out)

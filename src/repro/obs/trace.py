@@ -1,0 +1,181 @@
+"""Lightweight span/counter tracing for the compiler's hot paths.
+
+The tracer answers "where does compile time go?": every instrumented
+region (parsing, type checking, effect analysis, SMT queries, scheduling
+primitives, code generation) opens a :func:`span`, and the tracer
+aggregates wall-clock *total* and *self* time (total minus enclosed
+spans) per span name, so nested instrumentation never double-counts.
+
+Tracing is **off by default** and designed for near-zero overhead when
+disabled: ``span()`` then returns a shared no-op context manager and
+``incr()`` returns immediately.  Enable with::
+
+    from repro import obs
+    obs.enable()            # or: REPRO_TRACE=1 in the environment
+
+The tracer is thread-safe: each thread keeps its own span stack (so
+nesting is tracked per thread) while the aggregate table is guarded by a
+lock.  A bounded list of raw span records (name, depth, start, duration)
+is kept for tests and fine-grained inspection.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Dict, List, Tuple
+
+#: cap on retained raw span records; aggregates are unbounded
+MAX_RECORDS = 100_000
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class SpanRecord:
+    """One completed span occurrence (kept only up to MAX_RECORDS)."""
+
+    __slots__ = ("name", "depth", "start", "duration")
+
+    def __init__(self, name: str, depth: int, start: float, duration: float):
+        self.name = name
+        self.depth = depth
+        self.start = start
+        self.duration = duration
+
+    def __repr__(self):
+        return (
+            f"SpanRecord({self.name!r}, depth={self.depth}, "
+            f"duration={self.duration:.6f})"
+        )
+
+
+class Tracer:
+    """Aggregated span timings and named counters."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.reset()
+
+    def reset(self):
+        with self._lock:
+            #: name -> [count, total_seconds, self_seconds]
+            self.spans: Dict[str, List[float]] = {}
+            self.counters: Dict[str, int] = {}
+            self.records: List[SpanRecord] = []
+
+    # -- per-thread span stack ------------------------------------------------
+
+    def _stack(self):
+        st = getattr(self._local, "stack", None)
+        if st is None:
+            st = self._local.stack = []
+        return st
+
+    def _finish(self, name: str, start: float, child_time: float):
+        duration = time.perf_counter() - start
+        stack = self._stack()
+        depth = len(stack)
+        if stack:
+            # charge our whole duration to the parent's child-time accumulator
+            stack[-1][1] += duration
+        with self._lock:
+            agg = self.spans.get(name)
+            if agg is None:
+                agg = self.spans[name] = [0, 0.0, 0.0]
+            agg[0] += 1
+            agg[1] += duration
+            agg[2] += max(0.0, duration - child_time)
+            if len(self.records) < MAX_RECORDS:
+                self.records.append(SpanRecord(name, depth, start, duration))
+
+    def incr(self, name: str, n: int = 1):
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    # -- snapshots -------------------------------------------------------------
+
+    def span_totals(self) -> Dict[str, Tuple[int, float, float]]:
+        """``{name: (count, total_s, self_s)}`` for every span seen."""
+        with self._lock:
+            return {k: (v[0], v[1], v[2]) for k, v in self.spans.items()}
+
+    def counter_totals(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self.counters)
+
+
+class _Span:
+    """A live span; use only via :func:`span` (which checks the flag)."""
+
+    __slots__ = ("name", "start", "frame")
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __enter__(self):
+        self.frame = [self.name, 0.0]  # [name, accumulated child time]
+        TRACER._stack().append(self.frame)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        stack = TRACER._stack()
+        frame = stack.pop()
+        TRACER._finish(self.name, self.start, frame[1])
+        return False
+
+
+TRACER = Tracer()
+
+_ENABLED = [os.environ.get("REPRO_TRACE", "") not in ("", "0")]
+
+
+def enable():
+    """Turn tracing on process-wide (idempotent)."""
+    _ENABLED[0] = True
+
+
+def disable():
+    _ENABLED[0] = False
+
+
+def enabled() -> bool:
+    return _ENABLED[0]
+
+
+def span(name: str):
+    """Context manager timing the enclosed region under ``name``.
+
+    Span names use dotted ``phase.detail`` form (``"smt.prove"``,
+    ``"effects.bounds_check"``); the phase prefix is how
+    :mod:`repro.obs.report` buckets time into compile phases."""
+    if not _ENABLED[0]:
+        return _NOOP
+    return _Span(name)
+
+
+def incr(name: str, n: int = 1):
+    """Bump a named counter (no-op while tracing is disabled)."""
+    if not _ENABLED[0]:
+        return
+    TRACER.incr(name, n)
+
+
+def reset():
+    """Clear all aggregated spans, counters, and raw records."""
+    TRACER.reset()

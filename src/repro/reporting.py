@@ -35,10 +35,21 @@ def _fmt(c) -> str:
 
 
 def series(title: str, xlabel: str, ylabel: str, points: dict) -> str:
-    """Render one-or-more named (x, y) series as aligned text columns."""
-    lines = [title, "=" * len(title)]
+    """Render one-or-more named (x, y) series as aligned text columns.
+
+    Every series must be sampled on the same x-axis; mismatched series
+    raise ``ValueError`` rather than silently misaligning rows."""
     names = list(points)
+    if not names:
+        raise ValueError("series: no series given")
     xs = [x for x, _y in points[names[0]]]
+    for n in names[1:]:
+        xs_n = [x for x, _y in points[n]]
+        if xs_n != xs:
+            raise ValueError(
+                f"series: x-axis of {n!r} ({xs_n}) does not match "
+                f"{names[0]!r} ({xs})"
+            )
     headers = [xlabel] + [f"{n} ({ylabel})" for n in names]
     rows = []
     for i, x in enumerate(xs):

@@ -989,3 +989,42 @@ def call_eqv(proc, match: StmtMatch, new_callee: IR.Proc, pollution: frozenset):
     EA.check_config_pollution(proc, match.path, pollution)
     new_call = dc_replace(call, proc=new_callee)
     return IR.replace_stmt(proc, match.path, [new_call]), pollution
+
+
+# ---------------------------------------------------------------------------
+# Observability hooks
+# ---------------------------------------------------------------------------
+#
+# Every primitive rewrite is wrapped with a tracing span (``sched.<name>``)
+# and an application counter, so a compile profile shows exactly which
+# rewrites dominate scheduling time.  The wrapping is a no-op while tracing
+# is disabled (see :mod:`repro.obs.trace`).
+
+_PRIMITIVES = (
+    "split", "reorder_loops", "unroll", "partition_loop", "remove_loop",
+    "fuse_loops", "fission_after", "lift_if", "add_guard", "reorder_stmts",
+    "lift_alloc", "expand_dim", "delete_pass", "set_memory", "set_precision",
+    "bind_expr", "bind_config", "configwrite_after", "configwrite_root",
+    "stage_mem", "inline_call", "call_eqv",
+)
+
+
+def _instrument(name, fn):
+    import functools
+
+    from ..obs import trace as _obs
+
+    @functools.wraps(fn)
+    def wrapped(*args, **kwargs):
+        if not _obs.enabled():
+            return fn(*args, **kwargs)
+        _obs.incr(f"sched.applied.{name}")
+        with _obs.span(f"sched.{name}"):
+            return fn(*args, **kwargs)
+
+    return wrapped
+
+
+for _name in _PRIMITIVES:
+    globals()[_name] = _instrument(_name, globals()[_name])
+del _name

@@ -26,6 +26,7 @@ from math import gcd
 from typing import Dict, List, Tuple
 
 from ..core.prelude import InternalError, Sym
+from ..obs.smtstats import STATS as _SMT_STATS
 
 GEQ = ">="
 EQ = "=="
@@ -197,6 +198,7 @@ def feasible(cons: List[Constraint]) -> bool:
 
     Every variable is treated as existentially quantified.
     """
+    _SMT_STATS.omega_feasibility_checks += 1
     return _feasible(list(cons), 0)
 
 
@@ -324,6 +326,7 @@ def project_var(x: Sym, cons: List[Constraint]) -> List[List[Constraint]]:
     Returns a disjunction (list) of conjunctions (constraint lists) over the
     remaining variables.  Divisibility constraints may appear in the output.
     """
+    _SMT_STATS.omega_projections += 1
     try:
         cons = normalize(cons)
     except Infeasible:

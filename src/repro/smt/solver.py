@@ -11,10 +11,14 @@ opaque literals.
 
 from __future__ import annotations
 
+import time
 from itertools import chain
 from typing import Iterable, List
 
 from ..core.prelude import InternalError, Sym
+from ..obs import trace as _obs
+from ..obs.smtstats import STATS as _SMT_STATS
+from ..obs.smtstats import QueryCache, canonical_key
 from . import terms as S
 from .omega import DIV, EQ, GEQ, Constraint, LinExpr, feasible, project
 
@@ -163,6 +167,7 @@ def dnf_stream(t, prune=None) -> Iterable[List]:
         ors.sort(key=lambda f: len(f.args))
         head, rest = ors[0], ors[1:]
         for arm in head.args:
+            _SMT_STATS.dnf_branches += 1
             yield from go(rest + [arm], literals)
 
     yield from go([t], [])
@@ -262,21 +267,42 @@ class Solver:
         self._prove_cache = {}
         self._feas_cache = {}
         self.stats = {"prove_calls": 0, "cache_hits": 0, "omega_conjuncts": 0}
+        #: memo table keyed by the *canonical* formula hash: repeated
+        #: obligations that differ only in fresh Sym names (every
+        #: Commutes/Shadows query mints fresh point variables) are
+        #: answered once.  Sound because validity is invariant under
+        #: bijective renaming of variables.
+        self.qcache = QueryCache()
 
     # -- public API --------------------------------------------------------
 
     def prove(self, formula) -> bool:
         """Is ``formula`` valid (true for all integer assignments)?"""
         self.stats["prove_calls"] += 1
+        _SMT_STATS.prove_calls += 1
         key = formula
         if key in self._prove_cache:
             self.stats["cache_hits"] += 1
+            _SMT_STATS.cache_hits += 1
             return self._prove_cache[key]
-        result = not self.satisfiable(S.negate(formula))
+        ckey = canonical_key(formula)
+        cached = self.qcache.lookup(ckey)
+        if cached is not None:
+            self.stats["cache_hits"] += 1
+            _SMT_STATS.cache_hits += 1
+            self._prove_cache[key] = cached
+            return cached
+        _SMT_STATS.cache_misses += 1
+        t0 = time.perf_counter()
+        with _obs.span("smt.prove"):
+            result = not self.satisfiable(S.negate(formula))
+        _SMT_STATS.prove_time += time.perf_counter() - t0
         self._prove_cache[key] = result
+        self.qcache.store(ckey, result)
         return result
 
     def satisfiable(self, formula) -> bool:
+        _SMT_STATS.sat_calls += 1
         f = elim_ite(formula)
         f = nnf(f)
         f = self._elim_foralls(f)

@@ -1,0 +1,114 @@
+"""Tests for the span/counter tracer."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    was_enabled = obs.enabled()
+    obs.enable()
+    trace.reset()
+    yield
+    trace.reset()
+    if not was_enabled:
+        obs.disable()
+
+
+class TestSpans:
+    def test_span_records_time(self):
+        with obs.span("outer"):
+            time.sleep(0.01)
+        totals = trace.TRACER.span_totals()
+        count, total, self_s = totals["outer"]
+        assert count == 1
+        assert total >= 0.01
+        assert self_s == pytest.approx(total)
+
+    def test_spans_nest(self):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                time.sleep(0.005)
+        recs = {r.name: r for r in trace.TRACER.records}
+        assert recs["inner"].depth == recs["outer"].depth + 1
+        totals = trace.TRACER.span_totals()
+        assert totals["outer"][1] >= totals["inner"][1]
+
+    def test_self_time_excludes_children(self):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                time.sleep(0.01)
+        totals = trace.TRACER.span_totals()
+        _c, outer_total, outer_self = totals["outer"]
+        inner_total = totals["inner"][1]
+        assert outer_self == pytest.approx(outer_total - inner_total, abs=1e-4)
+
+    def test_sibling_spans_aggregate_by_name(self):
+        for _ in range(3):
+            with obs.span("leaf"):
+                pass
+        assert trace.TRACER.span_totals()["leaf"][0] == 3
+
+    def test_counters(self):
+        obs.incr("widgets")
+        obs.incr("widgets", 4)
+        assert trace.TRACER.counter_totals()["widgets"] == 5
+
+    def test_thread_safety_of_nesting(self):
+        def work():
+            for _ in range(50):
+                with obs.span("t.outer"):
+                    with obs.span("t.inner"):
+                        pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        totals = trace.TRACER.span_totals()
+        assert totals["t.outer"][0] == 200
+        assert totals["t.inner"][0] == 200
+
+
+class TestDisabled:
+    def test_disabled_span_is_noop_singleton(self):
+        obs.disable()
+        s1 = obs.span("x")
+        s2 = obs.span("y")
+        assert s1 is s2  # shared no-op object, no allocation per call
+        with s1:
+            pass
+        assert trace.TRACER.span_totals() == {}
+
+    def test_disabled_incr_records_nothing(self):
+        obs.disable()
+        obs.incr("nope")
+        assert trace.TRACER.counter_totals() == {}
+
+    def test_disabled_overhead_near_zero(self):
+        obs.disable()
+        n = 100_000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with obs.span("hot"):
+                pass
+        dt = time.perf_counter() - t0
+        # ~flag check + context manager protocol; generous bound for CI noise
+        assert dt < 0.5, f"{n} disabled spans took {dt:.3f}s"
+
+    def test_enable_disable_roundtrip(self):
+        obs.disable()
+        assert not obs.enabled()
+        obs.enable()
+        assert obs.enabled()
+        with obs.span("after_reenable"):
+            pass
+        assert "after_reenable" in trace.TRACER.span_totals()

@@ -1,0 +1,66 @@
+"""Tests for the plain-text reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting import _fmt, series, table
+
+
+class TestFmt:
+    def test_float_two_decimals(self):
+        assert _fmt(3.14159) == "3.14"
+        assert _fmt(0.5) == "0.50"
+
+    def test_int_passthrough(self):
+        assert _fmt(7) == "7"
+
+    def test_str_passthrough(self):
+        assert _fmt("abc") == "abc"
+
+
+class TestTable:
+    def test_basic_layout(self):
+        out = table("T", ["a", "bb"], [[1, 2], [30, 4]])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1] == "="  # underline matches title width
+        assert "a" in lines[2] and "bb" in lines[2]
+        # all data rows align with the header separator
+        assert len(lines[3]) == len(lines[4]) == len(lines[5])
+
+    def test_column_widths_grow_to_fit(self):
+        out = table("T", ["x"], [["longvalue"]])
+        header_line = out.splitlines()[2]
+        assert len(header_line) >= len("longvalue")
+
+    def test_floats_formatted_in_cells(self):
+        out = table("T", ["v"], [[1.23456]])
+        assert "1.23" in out
+        assert "1.23456" not in out
+
+
+class TestSeries:
+    def test_aligned_series_render(self):
+        out = series(
+            "S", "n", "GFLOPs",
+            {"a": [(1, 10.0), (2, 20.0)], "b": [(1, 11.0), (2, 21.0)]},
+        )
+        lines = out.splitlines()
+        assert "n" in lines[2]
+        assert "a (GFLOPs)" in lines[2] and "b (GFLOPs)" in lines[2]
+        assert "10.00" in out and "21.00" in out
+
+    def test_empty_points_raises(self):
+        with pytest.raises(ValueError, match="no series"):
+            series("S", "x", "y", {})
+
+    def test_mismatched_x_axis_raises(self):
+        pts = {"a": [(1, 10.0), (2, 20.0)], "b": [(1, 11.0)]}
+        with pytest.raises(ValueError, match="x-axis"):
+            series("S", "x", "y", pts)
+
+    def test_mismatched_x_values_raises(self):
+        pts = {"a": [(1, 10.0), (2, 20.0)], "b": [(1, 11.0), (3, 21.0)]}
+        with pytest.raises(ValueError, match="does not match"):
+            series("S", "x", "y", pts)
