@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""CI gate: run the parallelism lint over every example program.
+
+Imports each module under ``examples/``, collects every top-level
+:class:`repro.api.Procedure`, rebuilds the scheduled procedures the
+example scripts construct in their ``main()`` (via the same app-library
+builders they call), and runs :func:`repro.analysis.lint` over all of
+them.  The build fails if any loop comes back ``unknown`` — i.e. the
+race detector crashed instead of returning a verdict — or if lint itself
+raises.  ``sequential`` verdicts are fine: a correct "this loop carries a
+dependence" answer is the analysis working, not a regression.
+
+Run:  PYTHONPATH=src python scripts/lint_examples.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT))
+
+from repro import analysis  # noqa: E402
+from repro.api import Procedure  # noqa: E402
+
+#: scheduled procedures each example builds inside ``main()``; the example
+#: modules only expose builders, so we invoke the same ones here.
+_BUILDERS = {
+    "examples.quickstart": [],
+    "examples.avx512_sgemm": [
+        lambda: __import__("repro.apps.x86_sgemm", fromlist=["x"])
+        .make_microkernel(6, 4)[1],
+        lambda: __import__("repro.apps.x86_sgemm", fromlist=["x"])
+        .sgemm_exo(6, 4),
+    ],
+    "examples.conv_relu": [
+        lambda: __import__("repro.apps.x86_conv", fromlist=["x"])
+        .conv_exo(4, 2),
+        lambda: __import__("repro.apps.gemmini_conv", fromlist=["x"])
+        .conv_exo(2, 2),
+    ],
+    "examples.gemmini_matmul": [
+        lambda: __import__("repro.apps.gemmini_matmul", fromlist=["x"])
+        .matmul_exo(),
+        lambda: __import__("repro.apps.gemmini_matmul", fromlist=["x"])
+        .matmul_exo_blocked(),
+    ],
+    "examples.custom_accelerator": [],
+}
+
+
+def collect_procs():
+    procs = []
+    for path in sorted((ROOT / "examples").glob("*.py")):
+        modname = f"examples.{path.stem}"
+        mod = importlib.import_module(modname)
+        for name in sorted(vars(mod)):
+            obj = getattr(mod, name)
+            if isinstance(obj, Procedure):
+                procs.append((modname, obj))
+        for build in _BUILDERS.get(modname, ()):
+            procs.append((modname, build()))
+    return procs
+
+
+def main() -> int:
+    failures = []
+    total = {"parallel": 0, "sequential": 0, "unknown": 0}
+    for modname, p in collect_procs():
+        try:
+            report = analysis.lint(p)
+        except Exception as e:  # lint must never crash on a valid proc
+            failures.append(f"{modname}:{p.name()}: lint raised "
+                            f"{type(e).__name__}: {e}")
+            continue
+        counts = report.counts()
+        for k in total:
+            total[k] += counts[k]
+        line = (f"{modname}:{p.name()}: {counts['parallel']} parallel, "
+                f"{counts['sequential']} sequential, "
+                f"{counts['unknown']} unknown")
+        print(line)
+        if counts["unknown"]:
+            for v in report:
+                if v.verdict == analysis.parallel.UNKNOWN:
+                    failures.append(
+                        f"{modname}:{p.name()}: {v.header}: {v.reason}")
+
+    print(f"\ntotal: {total['parallel']} parallel, "
+          f"{total['sequential']} sequential, {total['unknown']} unknown")
+    if failures:
+        print("\nFAIL: the race detector returned no verdict for:",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("lint-examples: all loops classified  [ok]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,13 +13,14 @@ The package provides:
   (:mod:`repro.machine`).
 """
 
-from . import obs
+from . import analysis, obs
 from .api import Procedure, compile_procs, config, instr, proc, set_check_mode
 from .core import types as _T
 from .core.builtins import fmax, fmin, relu, select, sqrt
 from .core.configs import Config
 from .core.memory import DRAM, Memory, MemGenError, StaticMemory
 from .core.prelude import (
+    AssertCheckError,
     BoundsCheckError,
     ExoError,
     ParseError,
@@ -42,6 +43,7 @@ stride = _T.stride_t
 __version__ = "1.0.0"
 
 __all__ = [
+    "analysis",
     "obs",
     "Procedure",
     "proc",
@@ -58,6 +60,7 @@ __all__ = [
     "ParseError",
     "TypeCheckError",
     "BoundsCheckError",
+    "AssertCheckError",
     "SchedulingError",
     "relu",
     "select",

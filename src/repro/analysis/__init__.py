@@ -1,0 +1,27 @@
+"""Static analyses built on the effect/SMT stack.
+
+Unlike :mod:`repro.effects.api`, whose checks gate individual rewrites,
+this package hosts *whole-program* analyses that report facts about a
+procedure.  The first resident is the loop-parallelism race detector
+(:mod:`repro.analysis.parallel`): it proves a loop's iterations commute
+and backs both the ``parallelize`` scheduling directive and the
+``lint`` coverage report.
+"""
+
+from .parallel import (
+    LintReport,
+    LoopVerdict,
+    check_par_loops,
+    check_parallel_loop,
+    lint,
+    lint_proc,
+)
+
+__all__ = [
+    "check_par_loops",
+    "check_parallel_loop",
+    "lint",
+    "lint_proc",
+    "LintReport",
+    "LoopVerdict",
+]

@@ -303,6 +303,22 @@ class Procedure:
         ir, pol = P.remove_loop(self._loopir_proc, m)
         return self._derive(ir, pol)
 
+    def parallelize(self, loop: str) -> "Procedure":
+        """Mark a loop parallel after proving its iterations independent
+        (no cross-iteration buffer conflict, no config writes); the C
+        backend then emits ``#pragma omp parallel for`` for it."""
+        (m,) = find_stmt(self._loopir_proc, loop, _one=True)
+        ir, pol = P.parallelize(self._loopir_proc, m)
+        return self._derive(ir, pol)
+
+    def lint(self):
+        """Run the race detector over every loop, classifying each as
+        ``parallel`` / ``sequential(reason)`` / ``unknown``; returns a
+        printable :class:`repro.analysis.LintReport`."""
+        from .analysis import lint as _lint
+
+        return _lint(self._loopir_proc)
+
     def delete_pass(self) -> "Procedure":
         ir, pol = P.delete_pass(self._loopir_proc)
         return self._derive(ir, pol)
@@ -325,7 +341,7 @@ _DIRECTIVES = (
     "bind_config", "expand_dim", "lift_alloc", "fission_after",
     "reorder_stmts", "reorder_before", "configwrite_at", "configwrite_root",
     "replace", "replace_all", "add_guard", "fuse_loop", "lift_if",
-    "partition_loop", "remove_loop", "delete_pass",
+    "partition_loop", "remove_loop", "parallelize", "delete_pass",
 )
 
 

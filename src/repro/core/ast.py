@@ -178,13 +178,19 @@ class If(Stmt):
 
 @dataclass(frozen=True)
 class For(Stmt):
-    """``for iter in seq(lo, hi): body`` -- a sequential loop."""
+    """``for iter in seq(lo, hi): body`` -- a loop over ``[lo, hi)``.
+
+    ``kind`` is ``"seq"`` for ordinary sequential loops and ``"par"`` for
+    loops whose iterations have been proven independent (see
+    :mod:`repro.analysis.parallel`); ``"par"`` loops compile to
+    ``#pragma omp parallel for`` and may execute in any order."""
 
     iter: Sym
     lo: Expr
     hi: Expr
     body: Tuple[Stmt, ...]
     srcinfo: SrcInfo = null_srcinfo
+    kind: str = "seq"
 
 
 @dataclass(frozen=True)

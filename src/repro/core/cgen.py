@@ -295,6 +295,14 @@ class _ProcCompiler:
         elif isinstance(s, IR.For):
             it = self.nm(s.iter)
             self.tenv[s.iter] = (T.index_t, None, False)
+            if getattr(s, "kind", "seq") == "par":
+                # proven race-free by repro.analysis.parallel; the loop
+                # variable is private via the for-init declaration, and
+                # loop-local allocations compile to block-scoped (hence
+                # thread-private) C declarations inside the braces.
+                self.emit("#ifdef _OPENMP")
+                self.emit("#pragma omp parallel for")
+                self.emit("#endif")
             self.emit(
                 f"for (int_fast32_t {it} = {self.expr(s.lo)}; "
                 f"{it} < {self.expr(s.hi)}; {it}++) {{"

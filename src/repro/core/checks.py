@@ -21,12 +21,24 @@ from . import types as T
 from .buffers import TypeEnv
 from .dataflow import GlobalState, Walker, _StrideEnv, _actual_stride, lower_ctrl
 from .ir2smt import lower_expr, proc_assumptions
-from .prelude import BoundsCheckError, Sym
+from .prelude import AssertCheckError, BoundsCheckError, Sym
 
 
 def _prove(assumptions, goal, solver=None):
     solver = solver or DEFAULT_SOLVER
     return solver.prove(S.implies(S.conj(*assumptions), goal))
+
+
+def _counterexample(assumptions, goal, solver=None) -> str | None:
+    """A satisfying assignment of ``assumptions /\\ not goal``, rendered
+    ``"i = 4, n = 4"`` -- the concrete inputs under which the unproven
+    obligation actually fails (best-effort; None when unavailable)."""
+    solver = solver or DEFAULT_SOLVER
+    model = solver.find_model(S.conj(*assumptions, S.negate(goal)))
+    if not model:
+        return None
+    items = sorted(model.items(), key=lambda kv: (kv[0].name, kv[0].id))
+    return ", ".join(f"{s.name} = {v}" for s, v in items[:8])
 
 
 def bounds_check(proc: IR.Proc, solver=None):
@@ -39,15 +51,31 @@ def _bounds_check(proc: IR.Proc, solver=None):
     base = proc_assumptions(proc)
     errors = []
 
-    def check(goal, facts, what, srcinfo):
+    def check(goal, facts, what, srcinfo, detail=""):
         if not _prove(base + facts, goal, solver):
-            errors.append(f"{srcinfo}: cannot prove {what}")
+            msg = f"{srcinfo}: cannot prove {what}"
+            extras = [detail] if detail else []
+            cex = _counterexample(base + facts, goal, solver)
+            if cex:
+                extras.append(f"counterexample: {cex}")
+            if extras:
+                msg += f" ({'; '.join(extras)})"
+            errors.append(msg)
 
     def check_idx(name, idx_terms, shape, facts, srcinfo, tenv, state):
         for i_t, extent in zip(idx_terms, shape):
             ext_t = lower_ctrl(extent, tenv, state)
             ok = S.conj(S.ge(i_t, S.IntC(0)), S.lt(i_t, ext_t))
-            check(ok, facts, f"access to {name} in bounds", srcinfo)
+            check(
+                ok,
+                facts,
+                f"access to {name} in bounds",
+                srcinfo,
+                detail=(
+                    f"index {S.term_to_str(i_t)} vs extent "
+                    f"{S.term_to_str(ext_t)}"
+                ),
+            )
 
     def check_expr(e, facts, tenv, state):
         for sub in IR.walk_exprs(e):
@@ -67,11 +95,30 @@ def _bounds_check(proc: IR.Proc, solver=None):
                         ok = S.conj(
                             S.ge(lo, S.IntC(0)), S.le(lo, hi), S.le(hi, ext_t)
                         )
-                        check(ok, facts, f"window of {sub.name} in bounds", sub.srcinfo)
+                        check(
+                            ok,
+                            facts,
+                            f"window of {sub.name} in bounds",
+                            sub.srcinfo,
+                            detail=(
+                                f"interval [{S.term_to_str(lo)}, "
+                                f"{S.term_to_str(hi)}) vs extent "
+                                f"{S.term_to_str(ext_t)}"
+                            ),
+                        )
                     else:
                         pt = lower_ctrl(w.pt, tenv, state)
                         ok = S.conj(S.ge(pt, S.IntC(0)), S.lt(pt, ext_t))
-                        check(ok, facts, f"window of {sub.name} in bounds", sub.srcinfo)
+                        check(
+                            ok,
+                            facts,
+                            f"window of {sub.name} in bounds",
+                            sub.srcinfo,
+                            detail=(
+                                f"index {S.term_to_str(pt)} vs extent "
+                                f"{S.term_to_str(ext_t)}"
+                            ),
+                        )
 
     def visit(s, _path, facts, state, tenv):
         for e in IR.stmt_exprs(s):
@@ -156,7 +203,7 @@ def _assert_check(proc: IR.Proc, solver=None):
 
     Walker(proc, visit).run()
     if errors:
-        raise BoundsCheckError("\n".join(errors))
+        raise AssertCheckError("\n".join(errors))
 
 
 def _actual_extent(actual, d, tenv, state):
@@ -172,6 +219,10 @@ def _actual_extent(actual, d, tenv, state):
 
 
 def check_proc(proc: IR.Proc, solver=None):
-    """Run both back-to-back (the standard front-end pipeline)."""
+    """Run the front-end pipeline: bounds, preconditions, and the race
+    detector over any ``par`` loops (user-written or rewrite-preserved)."""
     bounds_check(proc, solver)
     assert_check(proc, solver)
+    from ..analysis.parallel import check_par_loops  # deferred: avoids cycle
+
+    check_par_loops(proc)

@@ -94,8 +94,9 @@ def stmt_to_lines(s: IR.Stmt, indent: int) -> list:
             lines += block_to_lines(s.orelse, indent + 1)
         return lines
     if isinstance(s, IR.For):
+        word = "par" if getattr(s, "kind", "seq") == "par" else "seq"
         lines = [
-            f"{pad}for {s.iter} in seq({expr_to_str(s.lo)}, {expr_to_str(s.hi)}):"
+            f"{pad}for {s.iter} in {word}({expr_to_str(s.lo)}, {expr_to_str(s.hi)}):"
         ]
         lines += block_to_lines(s.body, indent + 1)
         return lines

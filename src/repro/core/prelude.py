@@ -34,6 +34,13 @@ class BoundsCheckError(ExoError):
     """Raised when a buffer access cannot be proven in-bounds."""
 
 
+class AssertCheckError(BoundsCheckError):
+    """Raised when a call's asserted preconditions cannot be proven.
+
+    Subclasses :class:`BoundsCheckError` for backward compatibility:
+    precondition failures were historically reported as bounds errors."""
+
+
 class SchedulingError(ExoError):
     """Raised when a scheduling rewrite is malformed or unsafe."""
 

@@ -378,7 +378,11 @@ def check_condition(proc: IR.Proc, path, cond: IR.Expr, what):
     ex = ctx.extractor()
     goal = ex._ctrl(cond)
     if not _prove(ctx.assumptions, goal):
-        raise SchedulingError(f"{what}: cannot prove {IR}".replace("{IR}", "condition"))
+        from ..core.checks import _counterexample
+
+        cex = _counterexample(ctx.assumptions, goal)
+        extra = f" (counterexample: {cex})" if cex else ""
+        raise SchedulingError(f"{what}: cannot prove condition{extra}")
 
 
 def check_term_condition(proc: IR.Proc, path, goal: S.Term, what):

@@ -282,6 +282,7 @@ class EffectExtractor:
                             )
                         callee_tenv.types[formal.name] = formal.type
                         callee_tenv.views[formal.name] = view
+                        self._carry_root(callee_tenv, view)
                     else:
                         callee_tenv.bind_root(formal.name, formal.type)
                     continue
@@ -302,6 +303,7 @@ class EffectExtractor:
                     raise InternalError("buffer argument must be a name or window")
                 callee_tenv.types[formal.name] = formal.type
                 callee_tenv.views[formal.name] = view
+                self._carry_root(callee_tenv, view)
                 rank = len(formal.type.shape())
                 for d in range(rank):
                     stride_extra[(formal.name, d)] = _actual_stride(
@@ -318,6 +320,15 @@ class EffectExtractor:
         body_eff = inner.block_effect(callee.body)
         self.state = inner.state
         return eseq(*arg_effs, *pred_reads, body_eff)
+
+    def _carry_root(self, callee_tenv: TypeEnv, view):
+        """Carry the root buffer's type/mem into a callee environment, so
+        the callee's own calls can still resolve stride terms for windows
+        of its formals (views always ground out at the caller's root)."""
+        root = view.root
+        if root not in callee_tenv.types and root in self.tenv.types:
+            callee_tenv.types[root] = self.tenv.types[root]
+            callee_tenv.mems[root] = self.tenv.mems.get(root)
 
 
 class _CalleeExtractor(EffectExtractor):

@@ -387,6 +387,7 @@ class _Parser:
         if not isinstance(node.target, pyast.Name):
             self.err(node, "loop variable must be a simple name")
         it = node.iter
+        kind = "seq"
         if (
             self.allow_holes
             and isinstance(it, pyast.Name)
@@ -401,13 +402,14 @@ class _Parser:
         ):
             lo = self.parse_expr(it.args[0], env)
             hi = self.parse_expr(it.args[1], env)
+            kind = "par" if it.func.id == "par" else "seq"
         else:
             self.err(node, "loops must have the form: for i in seq(lo, hi)")
         body_env = type(env)(env)
         sym = Sym(node.target.id)
         body_env[node.target.id] = sym
         body = self.parse_stmts(node.body, body_env)
-        return [IR.For(sym, lo, hi, body, si)]
+        return [IR.For(sym, lo, hi, body, si, kind)]
 
     def parse_if(self, node, env):
         si = self.srcinfo(node)

@@ -14,6 +14,10 @@ count formulas against real instruction traces at small sizes.
 
 from __future__ import annotations
 
+import os
+import shutil
+import subprocess
+import tempfile
 from dataclasses import dataclass
 from math import ceil
 
@@ -160,6 +164,105 @@ def sgemm_cost(M: int, N: int, K: int, mr: int = 6, nv: int = 4,
         overhead_cycles=overhead,
         flops=2.0 * M * N * K,
     )
+
+
+# ---------------------------------------------------------------------------
+# Native compile-and-run (OpenMP mode)
+# ---------------------------------------------------------------------------
+#
+# The analytic model above prices kernels without executing them; this
+# section actually builds and runs generated C, so the ``parallelize``
+# directive's ``#pragma omp parallel for`` output can be validated (and
+# timed) multithreaded.  Everything degrades gracefully: with no C
+# compiler, callers get None / False and should skip.
+
+#: flags for ISO C99 mode.  ``-std=c99`` matters beyond pedantry: GNU mode
+#: defaults to ``-ffp-contract=fast``, fusing mul+add into FMA and changing
+#: float rounding; ISO mode keeps contraction off, so scalar kernel output
+#: matches the numpy-based interpreter bit-for-bit.
+BASE_CFLAGS = ("-O2", "-std=c99")
+
+_CC_CACHE: list = []
+_OPENMP_CACHE: dict = {}
+
+
+def find_cc() -> str | None:
+    """Locate a C compiler (honors ``$CC``), or None."""
+    if not _CC_CACHE:
+        candidates = [os.environ.get("CC"), "gcc", "cc", "clang"]
+        found = None
+        for c in candidates:
+            if c and shutil.which(c):
+                found = shutil.which(c)
+                break
+        _CC_CACHE.append(found)
+    return _CC_CACHE[0]
+
+
+def openmp_available(cc: str | None = None) -> bool:
+    """Does ``cc`` accept ``-fopenmp`` (probed once per compiler)?"""
+    cc = cc or find_cc()
+    if cc is None:
+        return False
+    if cc not in _OPENMP_CACHE:
+        probe = "#include <omp.h>\nint main(void){return omp_get_max_threads()<1;}\n"
+        try:
+            with tempfile.TemporaryDirectory() as d:
+                src = os.path.join(d, "probe.c")
+                with open(src, "w") as f:
+                    f.write(probe)
+                r = subprocess.run(
+                    [cc, "-fopenmp", src, "-o", os.path.join(d, "probe")],
+                    capture_output=True,
+                )
+            _OPENMP_CACHE[cc] = r.returncode == 0
+        except OSError:
+            _OPENMP_CACHE[cc] = False
+    return _OPENMP_CACHE[cc]
+
+
+def compile_and_run(
+    c_source: str,
+    args: tuple = (),
+    cc: str | None = None,
+    openmp: bool = False,
+    threads: int | None = None,
+    extra_flags: tuple = (),
+    timeout: float = 120.0,
+) -> str:
+    """Compile ``c_source`` (which must define ``main``) and run it,
+    returning stdout.  ``openmp=True`` adds ``-fopenmp`` and runs with
+    ``OMP_NUM_THREADS=threads``.  Raises RuntimeError when no compiler is
+    available or the build/run fails."""
+    cc = cc or find_cc()
+    if cc is None:
+        raise RuntimeError("no C compiler found (set $CC)")
+    flags = list(BASE_CFLAGS) + list(extra_flags)
+    if openmp:
+        flags.append("-fopenmp")
+    with tempfile.TemporaryDirectory() as d:
+        src = os.path.join(d, "prog.c")
+        exe = os.path.join(d, "prog")
+        with open(src, "w") as f:
+            f.write(c_source)
+        build = subprocess.run(
+            [cc, *flags, src, "-o", exe, "-lm"], capture_output=True, text=True
+        )
+        if build.returncode != 0:
+            raise RuntimeError(f"C build failed:\n{build.stderr}")
+        env = dict(os.environ)
+        if openmp and threads is not None:
+            env["OMP_NUM_THREADS"] = str(threads)
+        run = subprocess.run(
+            [exe, *map(str, args)],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=timeout,
+        )
+        if run.returncode != 0:
+            raise RuntimeError(f"binary failed ({run.returncode}):\n{run.stderr}")
+        return run.stdout
 
 
 def conv_cost(N: int, H: int, W: int, IC: int, OC: int,

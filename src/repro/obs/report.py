@@ -26,7 +26,13 @@ from . import trace
 from .smtstats import STATS
 
 #: display order for the phase table
-PHASES = ("parse", "typecheck", "effects", "smt", "sched", "codegen", "other")
+PHASES = (
+    "parse", "typecheck", "effects", "analysis", "smt", "sched", "codegen",
+    "other",
+)
+
+#: lint verdicts surfaced as parallelism coverage (see repro.analysis)
+_LINT_VERDICTS = ("parallel", "sequential", "unknown")
 
 
 def phase_of(span_name: str) -> str:
@@ -53,12 +59,28 @@ def profile_dict() -> dict:
     from ..smt.solver import DEFAULT_SOLVER
 
     smt["canonical_cache_entries"] = len(DEFAULT_SOLVER.qcache)
-    return {
+    counters = trace.TRACER.counter_totals()
+    out = {
         "phases": phases,
         "spans": spans,
-        "counters": trace.TRACER.counter_totals(),
+        "counters": counters,
         "smt": smt,
     }
+    parallelism = parallelism_coverage(counters)
+    if parallelism:
+        out["parallelism"] = parallelism
+    return out
+
+
+def parallelism_coverage(counters: dict) -> dict:
+    """Lint verdict totals (``{verdict: count}``) from the
+    ``analysis.lint.*`` counters, empty when lint never ran."""
+    out = {}
+    for v in _LINT_VERDICTS:
+        n = counters.get(f"analysis.lint.{v}", 0)
+        if n:
+            out[v] = n
+    return out
 
 
 def compile_profile() -> str:
@@ -85,6 +107,16 @@ def compile_profile() -> str:
     smt = prof["smt"]
     smt_rows = [(k, smt[k]) for k in sorted(smt)]
     out.append(table("SMT query stats", ["stat", "value"], smt_rows))
+
+    parallelism = prof.get("parallelism")
+    if parallelism:
+        loops = sum(parallelism.values()) or 1
+        par_rows = [
+            (v, n, f"{100.0 * n / loops:.0f}%")
+            for v, n in sorted(parallelism.items(), key=lambda kv: -kv[1])
+        ]
+        out.append(table("Parallelism coverage (lint verdicts)",
+                         ["verdict", "loops", "share"], par_rows))
 
     counters = prof["counters"]
     if counters:

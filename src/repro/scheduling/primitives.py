@@ -116,6 +116,24 @@ def split(proc, match: StmtMatch, quot: int, hi_name: str, lo_name: str,
     raise SchedulingError(f"split: unknown tail strategy {tail!r}")
 
 
+def parallelize(proc, match: StmtMatch):
+    """Mark a loop parallel (``kind="par"``): codegen then emits
+    ``#pragma omp parallel for``.  Guarded by the race detector
+    (:mod:`repro.analysis.parallel`): any two distinct iterations must be
+    provably conflict-free on buffers, and the body must not write config
+    state (hardware registers have no per-thread copy)."""
+    from ..analysis.parallel import check_parallel_loop
+
+    loop = _the_loop(proc, match, "parallelize")
+    if getattr(loop, "kind", "seq") == "par":
+        raise SchedulingError("parallelize: loop is already parallel")
+    check_parallel_loop(proc, match.path, what="parallelize")
+    return (
+        IR.replace_stmt(proc, match.path, [dc_replace(loop, kind="par")]),
+        NO_POLLUTION,
+    )
+
+
 def reorder_loops(proc, match: StmtMatch):
     """Swap two perfectly nested loops (§5.8 reorder condition)."""
     outer = _the_loop(proc, match, "reorder")
@@ -1001,7 +1019,7 @@ def call_eqv(proc, match: StmtMatch, new_callee: IR.Proc, pollution: frozenset):
 # is disabled (see :mod:`repro.obs.trace`).
 
 _PRIMITIVES = (
-    "split", "reorder_loops", "unroll", "partition_loop", "remove_loop",
+    "split", "reorder_loops", "parallelize", "unroll", "partition_loop", "remove_loop",
     "fuse_loops", "fission_after", "lift_if", "add_guard", "reorder_stmts",
     "lift_alloc", "expand_dim", "delete_pass", "set_memory", "set_precision",
     "bind_expr", "bind_config", "configwrite_after", "configwrite_root",

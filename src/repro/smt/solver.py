@@ -311,6 +311,69 @@ class Solver:
             return True  # first surviving conjunct is feasible
         return False
 
+    def find_model(self, formula):
+        """A satisfying integer assignment for ``formula``, or ``None``.
+
+        Best-effort and used only to render counterexamples in diagnostics,
+        never for soundness: an unsatisfiable formula always yields ``None``,
+        but a satisfiable one may too (values outside the probed range, or
+        terms the linear backend cannot purify).  Returns ``{Sym: int}``."""
+        try:
+            f = elim_ite(formula)
+            f = nnf(f)
+            f = self._elim_foralls(f)
+            f, _extra = _strip_exists(f)
+            for literals in dnf_stream(f, prune=self._conjunct_feasible):
+                model = self._model_of_conjunct(literals)
+                if model is not None:
+                    return model
+        except InternalError:
+            pass
+        return None
+
+    def _model_of_conjunct(self, literals):
+        pur = _Purifier()
+        cons = []
+        bools = []
+        for lit in literals:
+            if isinstance(lit, S.Cmp):
+                cons.extend(pur.atom(lit))
+            elif isinstance(lit, (S.Var, S.Not)):
+                bools.append(lit)
+            elif isinstance(lit, S.BoolC):
+                if not lit.val:
+                    return None
+            else:
+                return None
+        if _bool_conflict(bools):
+            return None
+        cons.extend(pur.aux_cons)
+        if not feasible(cons):
+            return None
+        aux = set(pur.aux_vars)
+        vars_ = []
+        for c in cons:
+            for v, _coeff in c.expr.coeffs:
+                if v not in aux and v not in vars_:
+                    vars_.append(v)
+        vars_.sort(key=lambda s: s.id)
+        # pin each variable in turn to the smallest-magnitude value that
+        # keeps the system feasible; variables outside the probed range are
+        # simply omitted from the model (it is a diagnostic, not a witness)
+        candidates = [0]
+        for m in range(1, 65):
+            candidates += [m, -m]
+        model = {}
+        pins = []
+        for v in vars_:
+            for c in candidates:
+                pin = Constraint(LinExpr.var(v).add(LinExpr.constant(-c)), EQ)
+                if feasible(cons + pins + [pin]):
+                    model[v] = c
+                    pins.append(pin)
+                    break
+        return model
+
     # -- quantifier elimination ---------------------------------------------
     #
     # Only universal quantifiers require genuine elimination: existential

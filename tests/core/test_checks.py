@@ -314,3 +314,85 @@ def f(n: size, x: f32[n] @ DRAM):
 """,
             extra={"CfgE": cfg},
         )
+
+
+class TestDiagnostics:
+    """Error classes and counterexample rendering (the checker should say
+    *why* an obligation failed, not just that it failed)."""
+
+    def test_oob_message_has_counterexample(self):
+        from repro.api import procs_from_source
+
+        with pytest.raises(BoundsCheckError) as exc:
+            procs_from_source(
+                HEADER
+                + """
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        x[i + 1] = 0.0
+"""
+            )
+        msg = str(exc.value)
+        assert "cannot prove" in msg
+        assert "index (i + 1)" in msg
+        assert "counterexample:" in msg
+
+    def test_counterexample_assignment_is_concrete(self):
+        from repro.api import procs_from_source
+
+        with pytest.raises(BoundsCheckError) as exc:
+            procs_from_source(
+                HEADER
+                + """
+@proc
+def f(n: size, x: f32[4] @ DRAM):
+    for i in seq(0, n):
+        x[i] = 0.0
+"""
+            )
+        msg = str(exc.value)
+        # e.g. "counterexample: i = 4, n = 5" -- i past the extent 4
+        assert "counterexample:" in msg
+        assert "i = " in msg and "n = " in msg
+
+    def test_failed_precondition_raises_assert_check_error(self):
+        from repro import AssertCheckError
+        from repro.api import procs_from_source
+
+        with pytest.raises(AssertCheckError) as exc:
+            procs_from_source(
+                HEADER
+                + """
+@proc
+def g(n: size, x: f32[n] @ DRAM):
+    assert n % 4 == 0
+    x[0] = 0.0
+
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    g(n, x)
+"""
+            )
+        assert "cannot prove" in str(exc.value)
+
+    def test_assert_check_error_is_a_bounds_check_error(self):
+        # backward compat: callers catching BoundsCheckError keep working
+        from repro import AssertCheckError
+
+        assert issubclass(AssertCheckError, BoundsCheckError)
+
+    def test_true_oob_is_still_plain_bounds_error(self):
+        from repro import AssertCheckError
+        from repro.api import procs_from_source
+
+        with pytest.raises(BoundsCheckError) as exc:
+            procs_from_source(
+                HEADER
+                + """
+@proc
+def f(x: f32[4] @ DRAM):
+    x[4] = 0.0
+"""
+            )
+        assert not isinstance(exc.value, AssertCheckError)

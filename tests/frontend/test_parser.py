@@ -307,3 +307,55 @@ def f(n: size, x: [f32][n] @ DRAM):
         )
         assert p.is_instr()
         assert p.ir().instr.c_instr == "do_it({n}, {x});"
+
+
+class TestParLoops:
+    def test_par_loop_parses_to_kind_par(self):
+        p = _parse(
+            """
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    for i in par(0, n):
+        x[i] = 0.0
+"""
+        )
+        loop = p._loopir_proc.body[0]
+        assert isinstance(loop, IR.For)
+        assert loop.kind == "par"
+
+    def test_seq_loop_defaults_to_kind_seq(self):
+        p = _parse(
+            """
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        x[i] = 0.0
+"""
+        )
+        assert p._loopir_proc.body[0].kind == "seq"
+
+    def test_par_loop_pretty_prints_as_par(self):
+        p = _parse(
+            """
+@proc
+def f(n: size, x: f32[n] @ DRAM):
+    for i in par(0, n):
+        x[i] = 0.0
+"""
+        )
+        assert "for i in par(0, n):" in str(p)
+
+    def test_racy_par_loop_rejected_at_definition(self):
+        # a user-written par loop goes through the same race detector as
+        # the parallelize directive
+        from repro.core.prelude import SchedulingError
+
+        with pytest.raises(SchedulingError):
+            _parse(
+                """
+@proc
+def f(n: size, x: f32[1] @ DRAM, a: f32[n] @ DRAM):
+    for i in par(0, n):
+        x[0] += a[i]
+"""
+            )

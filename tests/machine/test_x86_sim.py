@@ -99,3 +99,101 @@ class TestParams:
         slow = X86Params(fma_ports=0.5)
         assert sgemm_cost(512, 512, 512, params=slow).gflops(slow) < \
             sgemm_cost(512, 512, 512).gflops()
+
+
+class TestCompileAndRun:
+    """The host C toolchain harness behind the OpenMP benchmarks."""
+
+    def test_find_cc_cached(self):
+        from repro.machine.x86_sim import find_cc
+
+        assert find_cc() == find_cc()  # cached, possibly None
+
+    @pytest.mark.skipif(
+        __import__("repro.machine.x86_sim", fromlist=["x"]).find_cc() is None,
+        reason="no C compiler on this host",
+    )
+    def test_compile_and_run_hello(self):
+        from repro.machine.x86_sim import compile_and_run
+
+        src = '#include <stdio.h>\nint main(void){printf("%d\\n", 6*7);return 0;}\n'
+        assert compile_and_run(src).strip() == "42"
+
+    @pytest.mark.skipif(
+        __import__("repro.machine.x86_sim", fromlist=["x"]).find_cc() is None,
+        reason="no C compiler on this host",
+    )
+    def test_compile_error_raises(self):
+        from repro.machine.x86_sim import compile_and_run
+
+        with pytest.raises(RuntimeError):
+            compile_and_run("int main(void){ return syntax error }")
+
+    @pytest.mark.skipif(
+        not __import__("repro.machine.x86_sim", fromlist=["x"]).openmp_available(),
+        reason="no OpenMP-capable compiler on this host",
+    )
+    def test_openmp_thread_count_respected(self):
+        from repro.machine.x86_sim import compile_and_run
+
+        src = (
+            "#include <stdio.h>\n"
+            "#include <omp.h>\n"
+            "int main(void){\n"
+            "  int n = 0;\n"
+            "  #pragma omp parallel\n"
+            "  {\n"
+            "  #pragma omp single\n"
+            "    n = omp_get_num_threads();\n"
+            "  }\n"
+            "  printf(\"%d\\n\", n); return 0; }\n"
+        )
+        out = compile_and_run(src, openmp=True, threads=2)
+        assert out.strip() == "2"
+
+    @pytest.mark.skipif(
+        not __import__("repro.machine.x86_sim", fromlist=["x"]).openmp_available(),
+        reason="no OpenMP-capable compiler on this host",
+    )
+    def test_par_kernel_matches_interpreter_bitwise(self):
+        import numpy as np
+
+        from repro.api import procs_from_source
+        from repro.machine.x86_sim import compile_and_run
+
+        p = list(procs_from_source(
+            "from __future__ import annotations\n"
+            "from repro import proc, DRAM, f32, size\n"
+            """
+@proc
+def saxpy(n: size, a: f32[n] @ DRAM, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        y[i] += a[i] * x[i]
+"""
+        ).values())[-1].parallelize("for i in _: _")
+
+        n = 64
+        rng = np.random.default_rng(11)
+        a = (rng.random(n) - 0.5).astype(np.float32)
+        x = (rng.random(n) - 0.5).astype(np.float32)
+        y_ref = (rng.random(n) - 0.5).astype(np.float32)
+        y0 = y_ref.copy()
+        p.interpret(n, a, x, y0)
+
+        def lit(arr):
+            return ",".join(f"{v:.9g}f" for v in arr)
+
+        src = (
+            "#include <stdio.h>\n"
+            + p.c_code()
+            + f"static float A[]={{{lit(a)}}};\n"
+            + f"static float X[]={{{lit(x)}}};\n"
+            + f"static float Y[]={{{lit(y_ref)}}};\n"
+            + "int main(void){\n"
+            + f"  saxpy({n}, A, X, Y);\n"
+            + f"  for (int i = 0; i < {n}; i++) printf(\"%a\\n\", (double)Y[i]);\n"
+            + "  return 0; }\n"
+        )
+        out = compile_and_run(src, openmp=True, threads=4)
+        got = np.array([float.fromhex(t) for t in out.split()], dtype=np.float64)
+        np.testing.assert_array_equal(got.astype(np.float32), y0)

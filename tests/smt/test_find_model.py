@@ -1,0 +1,72 @@
+"""Tests of :meth:`Solver.find_model` — the best-effort model finder
+behind the race-detector / bounds-check counterexamples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.prelude import Sym
+from repro.smt import terms as S
+from repro.smt.solver import Solver
+
+
+@pytest.fixture
+def solver():
+    return Solver()
+
+
+def V(sym):
+    return S.Var(sym)
+
+
+def _check(model, formula, solver):
+    """A returned model must actually satisfy the formula."""
+    sub = {v: S.IntC(c) for v, c in model.items()}
+    assert solver.prove(S.substitute(formula, sub))
+
+
+class TestFindModel:
+    def test_unsat_returns_none(self, solver):
+        x = Sym("x")
+        assert solver.find_model(S.conj(S.gt(V(x), S.IntC(0)),
+                                        S.lt(V(x), S.IntC(0)))) is None
+        assert solver.find_model(S.FALSE) is None
+
+    def test_simple_equality(self, solver):
+        x = Sym("x")
+        f = S.eq(V(x), S.IntC(7))
+        model = solver.find_model(f)
+        assert model == {x: 7}
+
+    def test_inequalities_pin_small_values(self, solver):
+        x, n = Sym("x"), Sym("n")
+        f = S.conj(S.le(S.IntC(0), V(x)), S.lt(V(x), V(n)),
+                   S.gt(V(n), S.IntC(2)))
+        model = solver.find_model(f)
+        assert model is not None
+        _check(model, f, solver)
+        # the finder prefers values near zero
+        assert abs(model[x]) <= 8 and abs(model[n]) <= 8
+
+    def test_two_distinct_iterations(self, solver):
+        # the shape the race detector asks about: i != i' in [0, n)
+        i, i2, n = Sym("i"), Sym("i2"), Sym("n")
+        f = S.conj(
+            S.le(S.IntC(0), V(i)), S.lt(V(i), V(n)),
+            S.le(S.IntC(0), V(i2)), S.lt(V(i2), V(n)),
+            S.lt(V(i2), V(i)),
+        )
+        model = solver.find_model(f)
+        assert model is not None
+        _check(model, f, solver)
+        assert model[i2] < model[i]
+
+    def test_disjunction_takes_feasible_branch(self, solver):
+        x = Sym("x")
+        f = S.disj(S.conj(S.gt(V(x), S.IntC(0)), S.lt(V(x), S.IntC(0))),
+                   S.eq(V(x), S.IntC(3)))
+        assert solver.find_model(f) == {x: 3}
+
+    def test_model_of_true_is_empty(self, solver):
+        model = solver.find_model(S.TRUE)
+        assert model == {}
