@@ -52,24 +52,47 @@ _BUILDERS = {
 }
 
 
-def collect_procs():
+def collect_procs(failures=None):
+    """All example procedures: ``(module, Procedure)`` pairs.
+
+    Fails loudly instead of skipping silently: a stale ``_BUILDERS`` key
+    (example module renamed/removed), an example that no longer imports,
+    or a builder that raises all append to ``failures``."""
     procs = []
+    if failures is None:
+        failures = []
+    discovered = set()
     for path in sorted((ROOT / "examples").glob("*.py")):
         modname = f"examples.{path.stem}"
-        mod = importlib.import_module(modname)
+        discovered.add(modname)
+        try:
+            mod = importlib.import_module(modname)
+        except Exception as e:
+            failures.append(f"{modname}: import raised {type(e).__name__}: {e}")
+            continue
         for name in sorted(vars(mod)):
             obj = getattr(mod, name)
             if isinstance(obj, Procedure):
                 procs.append((modname, obj))
         for build in _BUILDERS.get(modname, ()):
-            procs.append((modname, build()))
+            try:
+                procs.append((modname, build()))
+            except Exception as e:
+                failures.append(
+                    f"{modname}: builder raised {type(e).__name__}: {e}"
+                )
+    for modname in sorted(set(_BUILDERS) - discovered):
+        failures.append(
+            f"_BUILDERS entry {modname!r} matches no module under examples/ "
+            f"(stale after a rename/removal?)"
+        )
     return procs
 
 
 def main() -> int:
     failures = []
     total = {"parallel": 0, "sequential": 0, "unknown": 0}
-    for modname, p in collect_procs():
+    for modname, p in collect_procs(failures):
         try:
             report = analysis.lint(p)
         except Exception as e:  # lint must never crash on a valid proc
@@ -92,8 +115,7 @@ def main() -> int:
     print(f"\ntotal: {total['parallel']} parallel, "
           f"{total['sequential']} sequential, {total['unknown']} unknown")
     if failures:
-        print("\nFAIL: the race detector returned no verdict for:",
-              file=sys.stderr)
+        print("\nFAIL:", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1

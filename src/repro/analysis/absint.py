@@ -1,0 +1,655 @@
+"""Interval / affine-bounds abstract interpretation: the SMT fast path.
+
+The §5 safety story discharges *every* obligation -- bounds, preconditions,
+disjointness -- to the full LIA decision procedure, and compile profiles
+show solver time dominating ``check_proc`` even with the canonical query
+cache.  Yet the overwhelming majority of those goals are trivial affine
+facts: ``0 <= 16*io + ii < n`` under ``0 <= io < n/16, 0 <= ii < 16``.
+
+This module decides exactly that fragment with a capped Fourier-Motzkin
+refutation engine over linear integer constraints:
+
+* :func:`try_prove` -- can ``assumptions ⟹ goal`` be established by affine
+  reasoning alone?  It only ever answers *proved* or *unknown*, never
+  *disproved*, so callers fall through to the solver on unknown and no
+  verdict can flip.  Soundness: the goal's negation is conjoined with the
+  (weakened) context facts and refuted; infeasibility over the rationals
+  (what FM decides, tightened with gcd normalization over the integers)
+  implies integer infeasibility, which implies validity.
+
+* Quasi-affine ``/`` and ``%`` are purified into quotient pseudo-variables
+  keyed by the *structural* ``FloorDiv`` term, so every occurrence of
+  ``n / 16`` across facts and goal shares one variable and divisibility
+  preconditions like ``n % 16 == 0`` connect to loop bounds like
+  ``io < n / 16``.
+
+* :func:`prove` wraps the fast path in front of ``Solver.prove`` with
+  ``analysis.absint.*`` obs counters (goals tried / discharged /
+  fell-through, per originating check category), and tags fall-through
+  solver calls with the category via :func:`repro.obs.smtstats.query_category`.
+
+On top of the same linear engine sits the **write-coverage box domain**
+used by the sanitizers (:mod:`repro.analysis.sanitize`): sets of
+per-dimension ``[lo, hi)`` interval boxes over buffer points, the abstract
+counterpart of §5's ``Locs`` location sets.  :func:`write_boxes`
+under-approximates the definitely-written footprint of an effect (dense,
+unguarded, provably-executed writes only) and :func:`covers_reads` checks
+read footprints against it without any SMT call.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from math import gcd
+from typing import Dict, List, Optional, Tuple
+
+from ..core.prelude import Sym
+from ..obs import smtstats as _smtstats
+from ..obs import trace as _obs
+from ..smt import terms as S
+
+#: give-up thresholds keeping the fast path strictly cheap: anything larger
+#: falls through to the solver rather than risking FM's worst case
+MAX_VARS = 24
+MAX_CONS = 192
+MAX_COMBOS = 96
+MAX_COEF = 10**15
+
+_FASTPATH = [True]
+
+
+def set_fastpath(enabled: bool):
+    """Globally enable/disable the interval fast path (for measurement)."""
+    _FASTPATH[0] = bool(enabled)
+
+
+def fastpath_enabled() -> bool:
+    return _FASTPATH[0]
+
+
+class NonAffine(Exception):
+    """A term or formula outside the affine fragment; bail to the solver."""
+
+
+# ---------------------------------------------------------------------------
+# Linearization with div/mod purification
+# ---------------------------------------------------------------------------
+#
+# A linear form is ``(const, {Sym: coeff})``; a constraint is a linear form
+# asserted ``>= 0``.
+
+
+Lin = Tuple[int, Dict[Sym, int]]
+
+
+class Linearizer:
+    """Turns terms into linear forms, purifying ``/`` and ``%``.
+
+    Quotient pseudo-variables are keyed by the structural ``FloorDiv`` term
+    (frozen dataclasses compare by structure), so repeated occurrences of
+    the same division share one variable; ``t % d`` is rewritten to
+    ``t - d*(t / d)``.  Each fresh quotient ``q`` contributes the defining
+    constraints ``t - d*q >= 0`` and ``d*q + (d-1) - t >= 0`` to
+    :attr:`cons`."""
+
+    def __init__(self):
+        self._quot: Dict[S.FloorDiv, Sym] = {}
+        self.cons: List[Lin] = []
+
+    def _qvar(self, fd: S.FloorDiv) -> Sym:
+        q = self._quot.get(fd)
+        if q is None:
+            q = Sym(f"absq{len(self._quot)}")
+            self._quot[fd] = q
+            c, m = self.lin(fd.arg)
+            d = fd.divisor
+            m1 = dict(m)
+            m1[q] = m1.get(q, 0) - d
+            self.cons.append((c, m1))
+            m2 = {k: -v for k, v in m.items()}
+            m2[q] = m2.get(q, 0) + d
+            self.cons.append((d - 1 - c, m2))
+        return q
+
+    def lin(self, t: S.Term) -> Lin:
+        if isinstance(t, bool):
+            raise NonAffine(t)
+        if isinstance(t, int):  # raw literal in a Cmp operand
+            return (t, {})
+        if isinstance(t, S.IntC):
+            return (t.val, {})
+        if isinstance(t, S.Var):
+            if t.sort != S.INT:
+                raise NonAffine(t)
+            return (0, {t.sym: 1})
+        if isinstance(t, S.Add):
+            c = 0
+            m: Dict[Sym, int] = {}
+            for a in t.args:
+                ca, ma = self.lin(a)
+                c += ca
+                for k, v in ma.items():
+                    m[k] = m.get(k, 0) + v
+            return (c, m)
+        if isinstance(t, S.Scale):
+            c, m = self.lin(t.arg)
+            return (c * t.coeff, {k: v * t.coeff for k, v in m.items()})
+        if isinstance(t, S.FloorDiv):
+            return (0, {self._qvar(t): 1})
+        if isinstance(t, S.Mod):
+            # t % d  =  t - d * (t / d), sharing the quotient variable
+            q = self._qvar(S.FloorDiv(t.arg, t.divisor))
+            c, m = self.lin(t.arg)
+            m = dict(m)
+            m[q] = m.get(q, 0) - t.divisor
+            return (c, m)
+        raise NonAffine(t)
+
+    # -- atoms -------------------------------------------------------------
+
+    def _diff(self, lhs: S.Term, rhs: S.Term) -> Lin:
+        cl, ml = self.lin(lhs)
+        cr, mr = self.lin(rhs)
+        m = dict(ml)
+        for k, v in mr.items():
+            m[k] = m.get(k, 0) - v
+        return (cl - cr, m)
+
+    def atom_cons(self, t: S.Cmp) -> List[Lin]:
+        """GEQ-form constraints equivalent to the atom ``t``."""
+        c, m = self._diff(t.lhs, t.rhs)
+        neg = (-c, {k: -v for k, v in m.items()})
+        if t.op == "==":
+            return [(c, m), neg]
+        if t.op == ">=":
+            return [(c, m)]
+        if t.op == ">":
+            return [(c - 1, m)]
+        if t.op == "<=":
+            return [neg]
+        if t.op == "<":
+            return [(neg[0] - 1, neg[1])]
+        raise NonAffine(t)
+
+    def neg_atom_cons(self, t: S.Cmp) -> List[Lin]:
+        """GEQ-form constraints equivalent to ``not t`` (integer negation).
+        ``!=`` is a disjunction and has no conjunctive form: raises."""
+        c, m = self._diff(t.lhs, t.rhs)
+        neg = (-c, {k: -v for k, v in m.items()})
+        if t.op == ">=":  # not(l >= r)  <=>  l < r
+            return [(neg[0] - 1, neg[1])]
+        if t.op == ">":
+            return [neg]
+        if t.op == "<=":
+            return [(c - 1, m)]
+        if t.op == "<":
+            return [(c, m)]
+        raise NonAffine(t)
+
+
+# ---------------------------------------------------------------------------
+# Capped Fourier-Motzkin refutation
+# ---------------------------------------------------------------------------
+
+
+def _normalize(c: int, m: Dict[Sym, int]) -> Lin:
+    m = {k: v for k, v in m.items() if v}
+    if m:
+        g = 0
+        for v in m.values():
+            g = gcd(g, abs(v))
+        if g > 1:
+            # integer tightening: sum of g-divisible terms >= -c implies
+            # the divided sum >= ceil(-c/g), i.e. const becomes floor(c/g)
+            c = c // g
+            m = {k: v // g for k, v in m.items()}
+    return (c, m)
+
+
+def _dedupe(cons: List[Lin]) -> List[Lin]:
+    """Keep only the tightest (smallest-constant) row per coefficient set."""
+    best: Dict[tuple, int] = {}
+    for c, m in cons:
+        key = tuple(sorted(((k.id, k), v) for k, v in m.items()))
+        if key not in best or c < best[key][0]:
+            best[key] = (c, m)
+    return list(best.values())
+
+
+def refute(cons: List[Lin]) -> bool:
+    """Is the conjunction of ``cons`` (each ``const + Σ coeff·var >= 0``)
+    infeasible?  ``True`` is a proof of infeasibility (over the rationals,
+    with gcd tightening -- hence also over the integers); ``False`` only
+    means *could not refute within the caps*."""
+    work: List[Lin] = []
+    for c, m in cons:
+        c, m = _normalize(c, dict(m))
+        if not m:
+            if c < 0:
+                return True
+            continue
+        work.append((c, m))
+    work = _dedupe(work)
+    vars_ = set()
+    for _c, m in work:
+        vars_.update(m)
+    if len(vars_) > MAX_VARS:
+        return False
+    while vars_:
+        # eliminate the variable with the fewest pos*neg pairings
+        best_v, best_cost = None, None
+        for v in vars_:
+            pos = sum(1 for _c, m in work if m.get(v, 0) > 0)
+            neg = sum(1 for _c, m in work if m.get(v, 0) < 0)
+            cost = pos * neg
+            if best_cost is None or cost < best_cost:
+                best_v, best_cost = v, cost
+        if best_cost > MAX_COMBOS:
+            return False
+        keep, pos_rows, neg_rows = [], [], []
+        for c, m in work:
+            a = m.get(best_v, 0)
+            (pos_rows if a > 0 else neg_rows if a < 0 else keep).append((c, m))
+        new = keep
+        for cp, mp in pos_rows:
+            a = mp[best_v]
+            for cn, mn in neg_rows:
+                b = -mn[best_v]
+                c = b * cp + a * cn
+                m: Dict[Sym, int] = {}
+                for k, v in mp.items():
+                    if k is not best_v:
+                        m[k] = b * v
+                for k, v in mn.items():
+                    if k is not best_v:
+                        m[k] = m.get(k, 0) + a * v
+                c, m = _normalize(c, m)
+                if abs(c) > MAX_COEF or any(abs(v) > MAX_COEF for v in m.values()):
+                    return False
+                if not m:
+                    if c < 0:
+                        return True
+                    continue
+                new.append((c, m))
+        new = _dedupe(new)
+        if len(new) > MAX_CONS:
+            return False
+        work = new
+        vars_ = set()
+        for _c, m in work:
+            vars_.update(m)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Goal decomposition
+# ---------------------------------------------------------------------------
+
+
+def _collect_facts(assumptions, out: List[Lin], lz: Linearizer):
+    """Flatten context facts into GEQ constraints, dropping anything outside
+    the affine fragment.  Dropping facts only *weakens* the context, which
+    is sound for proving."""
+    for f in assumptions:
+        _collect_fact(f, out, lz)
+
+
+def _collect_fact(f: S.Term, out: List[Lin], lz: Linearizer):
+    if f == S.TRUE:
+        return
+    if f == S.FALSE:
+        out.append((-1, {}))  # vacuous context: everything is provable
+        return
+    if isinstance(f, S.And):
+        for a in f.args:
+            _collect_fact(a, out, lz)
+        return
+    if isinstance(f, S.Cmp):
+        try:
+            out.extend(lz.atom_cons(f))
+        except NonAffine:
+            pass
+        return
+    if isinstance(f, S.Not) and isinstance(f.arg, S.Cmp):
+        try:
+            out.extend(lz.neg_atom_cons(f.arg))
+        except NonAffine:
+            pass
+        return
+    # Or, quantifiers, boolean variables: drop (weakening)
+
+
+def _pos_atoms(t: S.Term, out: List[Lin], lz: Linearizer) -> bool:
+    """Flatten a positive conjunction (through ``Exists``) into constraints.
+    Returns False when a non-conjunctive or non-affine subformula appears.
+
+    Stripping ``Exists`` is sound here because the result is only ever
+    *refuted* together with the facts: ``Sym``s are globally unique, so the
+    bound variables occur nowhere else and refuting with them free proves
+    the negation of the existential."""
+    if t == S.TRUE:
+        return True
+    if t == S.FALSE:
+        out.append((-1, {}))
+        return True
+    if isinstance(t, S.Exists):
+        return _pos_atoms(t.body, out, lz)
+    if isinstance(t, S.And):
+        return all(_pos_atoms(a, out, lz) for a in t.args)
+    if isinstance(t, S.Cmp):
+        try:
+            out.extend(lz.atom_cons(t))
+        except NonAffine:
+            return False
+        return True
+    return False
+
+
+def _prove_goal(goal: S.Term, facts: List[Lin], lz: Linearizer) -> bool:
+    if goal == S.TRUE:
+        return True
+    if isinstance(goal, S.And):
+        return all(_prove_goal(a, facts, lz) for a in goal.args)
+    if isinstance(goal, S.Cmp):
+        try:
+            if goal.op == "==":
+                # prove both directions: refute facts ∧ (l > r), facts ∧ (l < r)
+                le_dir = lz.neg_atom_cons(S.Cmp("<=", goal.lhs, goal.rhs))
+                ge_dir = lz.neg_atom_cons(S.Cmp(">=", goal.lhs, goal.rhs))
+                return refute(facts + lz.cons + le_dir) and refute(
+                    facts + lz.cons + ge_dir
+                )
+            neg = lz.neg_atom_cons(goal)
+        except NonAffine:
+            return False
+        return refute(facts + lz.cons + neg)
+    if isinstance(goal, S.Not):
+        atoms: List[Lin] = []
+        if not _pos_atoms(goal.arg, atoms, lz):
+            return False
+        return refute(facts + lz.cons + atoms)
+    return False
+
+
+def try_prove(assumptions, goal: S.Term) -> bool:
+    """Can affine reasoning alone establish ``assumptions ⟹ goal``?
+
+    Only ever answers ``True`` (proved) or ``False`` (unknown) -- it never
+    claims a goal false, so callers can always fall through to the full
+    solver on ``False``."""
+    if goal == S.TRUE:
+        return True
+    try:
+        lz = Linearizer()
+        facts: List[Lin] = []
+        _collect_facts(assumptions, facts, lz)
+        return _prove_goal(goal, facts, lz)
+    except (NonAffine, RecursionError):
+        return False
+
+
+# ---------------------------------------------------------------------------
+# The fast-path prove wrapper
+# ---------------------------------------------------------------------------
+
+
+def _count(event: str, category: str):
+    _obs.incr(f"analysis.absint.{event}")
+    _obs.incr(f"analysis.absint.{category}.{event}")
+
+
+def prove(assumptions, goal: S.Term, solver=None, category: str = "other") -> bool:
+    """Discharge ``assumptions ⟹ goal``: interval fast path first, the full
+    SMT solver on fall-through.  Goals the fast path decides never reach
+    the solver; fall-through queries are tagged with ``category`` so
+    :mod:`repro.obs.smtstats` breaks solver load down per check."""
+    if _FASTPATH[0]:
+        _count("tried", category)
+        with _obs.span("analysis.absint"):
+            ok = try_prove(assumptions, goal)
+        if ok:
+            _count("discharged", category)
+            return True
+        _count("fellthrough", category)
+    if solver is None:
+        from ..smt.solver import DEFAULT_SOLVER as solver  # noqa: F811
+
+    with _smtstats.query_category(category):
+        return solver.prove(S.implies(S.conj(*assumptions), goal))
+
+
+# ---------------------------------------------------------------------------
+# Write-coverage interval boxes (the sanitizers' fast path)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Box:
+    """A rectangular set of buffer points: per-dimension ``[lo, hi)`` bounds
+    as SMT terms.  Rank 0 (scalars) is the single-point box ``()``."""
+
+    lo: Tuple[S.Term, ...]
+    hi: Tuple[S.Term, ...]
+
+
+def _binder_split(t: S.Term, bsyms) -> Optional[Tuple[Dict[Sym, int], S.Term]]:
+    """Split ``t`` into ``Σ c_b·b + rest`` over the binder syms; ``rest`` is
+    binder-free.  ``None`` when ``t`` is non-affine in some binder."""
+    if not (S.free_vars(t) & bsyms):
+        return {}, t
+    if isinstance(t, S.Var):
+        return ({t.sym: 1}, S.IntC(0)) if t.sym in bsyms else ({}, t)
+    if isinstance(t, S.Add):
+        coeffs: Dict[Sym, int] = {}
+        rest = []
+        for a in t.args:
+            split = _binder_split(a, bsyms)
+            if split is None:
+                return None
+            ca, ra = split
+            for k, v in ca.items():
+                coeffs[k] = coeffs.get(k, 0) + v
+            rest.append(ra)
+        return coeffs, S.add(*rest) if rest else S.IntC(0)
+    if isinstance(t, S.Scale):
+        split = _binder_split(t.arg, bsyms)
+        if split is None:
+            return None
+        ca, ra = split
+        return {k: v * t.coeff for k, v in ca.items()}, S.scale(t.coeff, ra)
+    return None  # FloorDiv / Mod / Ite over a binder: non-affine
+
+
+def _dense_box(idx, binders, assumptions) -> Optional[Box]:
+    """The box covered by a write ``buf[idx]`` iterated over ``binders``
+    (``(sym, lo, hi)`` tuples, outermost first), or ``None`` when density
+    cannot be established.
+
+    Density per dimension: binders sorted by ascending \\|coeff\\| must
+    satisfy ``|c_0| = 1`` and ``|c_k| <= reach_{k-1} + 1`` where ``reach``
+    accumulates ``|c|*(extent-1)`` -- every intermediate extent must be a
+    literal.  A binder may feed at most one dimension (otherwise only a
+    diagonal is written), binder bounds must not depend on other binders
+    (rectangular nests only), and every binder's loop must provably run."""
+    bsyms = {b for b, _lo, _hi in binders}
+    bounds = {b: (lo, hi) for b, lo, hi in binders}
+    # rectangular check + provable trip for every enclosing binder
+    for b, lo, hi in binders:
+        if (S.free_vars(lo) | S.free_vars(hi)) & (bsyms - {b}):
+            # bounds may reference *outer* binders only if unused below;
+            # conservatively require full independence
+            return None
+        if not try_prove(assumptions, S.lt(lo, hi)):
+            return None
+    used: Dict[Sym, int] = {}
+    dims: List[Tuple[Dict[Sym, int], S.Term]] = []
+    for t in idx:
+        split = _binder_split(t, bsyms)
+        if split is None:
+            return None
+        coeffs, rest = split
+        coeffs = {k: v for k, v in coeffs.items() if v}
+        for b in coeffs:
+            used[b] = used.get(b, 0) + 1
+            if used[b] > 1:
+                return None  # same binder in two dims: diagonal footprint
+        dims.append((coeffs, rest))
+    los, his = [], []
+    for coeffs, rest in dims:
+        ranked = sorted(coeffs.items(), key=lambda kv: abs(kv[1]))
+        reach = 0
+        for i, (b, c) in enumerate(ranked):
+            if abs(c) > reach + 1:
+                return None  # stride gap: footprint has holes
+            if i + 1 < len(ranked):
+                lo_b, hi_b = bounds[b]
+                extent = S.sub(hi_b, lo_b)
+                if not isinstance(extent, S.IntC) or extent.val < 1:
+                    return None
+                reach += abs(c) * (extent.val - 1)
+        lo_t, hi_t = rest, rest
+        for b, c in ranked:
+            lo_b, hi_b = bounds[b]
+            top = S.sub(hi_b, S.IntC(1))
+            if c > 0:
+                lo_t = S.add(lo_t, S.scale(c, lo_b))
+                hi_t = S.add(hi_t, S.scale(c, top))
+            else:
+                lo_t = S.add(lo_t, S.scale(c, top))
+                hi_t = S.add(hi_t, S.scale(c, lo_b))
+        los.append(lo_t)
+        his.append(S.add(hi_t, S.IntC(1)))
+    return Box(tuple(los), tuple(his))
+
+
+def write_boxes(eff, root: Sym, assumptions) -> List[Box]:
+    """Boxes provably *covered* by the definite writes of ``root`` in
+    ``eff`` -- the under-approximating abstraction of §5's write location
+    sets.  Guarded writes contribute nothing; loop writes count only when
+    dense and provably executed (see :func:`_dense_box`)."""
+    from ..effects import effects as E
+
+    out: List[Box] = []
+
+    def walk(e, binders):
+        if isinstance(e, E.EWrite) and e.buf is root:
+            box = _dense_box(e.idx, binders, assumptions)
+            if box is not None:
+                out.append(box)
+        elif isinstance(e, E.ESeq):
+            for p in e.parts:
+                walk(p, binders)
+        elif isinstance(e, E.ELoop):
+            walk(e.body, binders + [(e.iter, e.lo, e.hi)])
+        # EGuard: a maybe-write covers nothing
+
+    walk(eff, [])
+    return out
+
+
+def access_boxes(eff, root: Sym, kinds: str = "r+") -> Optional[List[Box]]:
+    """One box *containing* each read/reduce leaf of ``root`` in ``eff``
+    (over-approximate: guards are ignored, loop binders range over their
+    full bounds).  ``None`` when any access resists affine bounding."""
+    from ..effects import effects as E
+
+    leaf_types = tuple(E._LEAF[k] for k in kinds)
+    out: List[Box] = []
+
+    def leaf_box(idx, binders) -> Optional[Box]:
+        bsyms = {b for b, _lo, _hi in binders}
+        bounds = {b: (lo, hi) for b, lo, hi in binders}
+        for b, lo, hi in binders:
+            if (S.free_vars(lo) | S.free_vars(hi)) & (bsyms - {b}):
+                return None
+        los, his = [], []
+        for t in idx:
+            split = _binder_split(t, bsyms)
+            if split is None:
+                return None
+            coeffs, rest = split
+            lo_t, hi_t = rest, rest
+            for b, c in coeffs.items():
+                if not c:
+                    continue
+                lo_b, hi_b = bounds[b]
+                top = S.sub(hi_b, S.IntC(1))
+                if c > 0:
+                    lo_t = S.add(lo_t, S.scale(c, lo_b))
+                    hi_t = S.add(hi_t, S.scale(c, top))
+                else:
+                    lo_t = S.add(lo_t, S.scale(c, top))
+                    hi_t = S.add(hi_t, S.scale(c, lo_b))
+            los.append(lo_t)
+            his.append(S.add(hi_t, S.IntC(1)))
+        return Box(tuple(los), tuple(his))
+
+    ok = [True]
+
+    def walk(e, binders):
+        if not ok[0]:
+            return
+        if isinstance(e, leaf_types) and e.buf is root:
+            box = leaf_box(e.idx, binders)
+            if box is None:
+                ok[0] = False
+            else:
+                out.append(box)
+        elif isinstance(e, E.ESeq):
+            for p in e.parts:
+                walk(p, binders)
+        elif isinstance(e, E.EGuard):
+            walk(e.body, binders)
+        elif isinstance(e, E.ELoop):
+            walk(e.body, binders + [(e.iter, e.lo, e.hi)])
+
+    walk(eff, [])
+    return out if ok[0] else None
+
+
+def box_covers(assumptions, cover: Box, target: Box) -> bool:
+    """Does ``cover`` provably contain ``target`` (per-dimension bound
+    comparisons, decided by the affine engine)?"""
+    if len(cover.lo) != len(target.lo):
+        return False
+    goal = S.conj(
+        *[
+            S.conj(S.le(cl, tl), S.le(th, ch))
+            for cl, ch, tl, th in zip(cover.lo, cover.hi, target.lo, target.hi)
+        ]
+    )
+    return try_prove(assumptions, goal)
+
+
+def covers_reads(assumptions, read_eff, root: Sym, cover_boxes, category="sanitize"):
+    """Sanitizer fast path: is every read/reduce of ``root`` in ``read_eff``
+    contained in some box of ``cover_boxes``?  Counts toward the
+    ``analysis.absint.*`` counters like :func:`prove`'s fast path; a
+    ``False`` only means the box domain could not decide it."""
+    if not _FASTPATH[0]:
+        return False
+    _count("tried", category)
+    with _obs.span("analysis.absint"):
+        targets = access_boxes(read_eff, root)
+        ok = targets is not None and all(
+            any(box_covers(assumptions, c, t) for c in cover_boxes)
+            for t in targets
+        )
+    if ok:
+        _count("discharged", category)
+        return True
+    _count("fellthrough", category)
+    return False
+
+
+@contextmanager
+def disabled():
+    """Context manager running its body with the fast path off (used by the
+    measurement harness to collect solver-only baselines)."""
+    saved = _FASTPATH[0]
+    _FASTPATH[0] = False
+    try:
+        yield
+    finally:
+        _FASTPATH[0] = saved

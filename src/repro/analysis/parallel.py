@@ -55,7 +55,9 @@ _KIND_WORD = {"r": "read", "w": "write", "+": "reduce"}
 
 
 def _prove(assumptions, goal) -> bool:
-    return DEFAULT_SOLVER.prove(S.implies(S.conj(*assumptions), goal))
+    from .absint import prove as _absint_prove
+
+    return _absint_prove(assumptions, goal, category="parallel")
 
 
 def _leaf_accesses(eff, root: Sym, point):

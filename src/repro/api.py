@@ -319,6 +319,15 @@ class Procedure:
 
         return _lint(self._loopir_proc)
 
+    def sanitize(self):
+        """Run the static sanitizers (uninit-read, dead-write,
+        dead-config-write, dead-alloc) over the procedure; returns a
+        printable :class:`repro.analysis.SanitizeReport` whose ``findings``
+        list is empty when every obligation was discharged."""
+        from .analysis import sanitize as _sanitize
+
+        return _sanitize(self._loopir_proc)
+
     def delete_pass(self) -> "Procedure":
         ir, pol = P.delete_pass(self._loopir_proc)
         return self._derive(ir, pol)

@@ -24,9 +24,12 @@ from .ir2smt import lower_expr, proc_assumptions
 from .prelude import AssertCheckError, BoundsCheckError, Sym
 
 
-def _prove(assumptions, goal, solver=None):
-    solver = solver or DEFAULT_SOLVER
-    return solver.prove(S.implies(S.conj(*assumptions), goal))
+def _prove(assumptions, goal, solver=None, category="other"):
+    # deferred import: repro.analysis pulls in effects.api, which reaches
+    # back into this module lazily
+    from ..analysis.absint import prove as _absint_prove
+
+    return _absint_prove(assumptions, goal, solver=solver, category=category)
 
 
 def _counterexample(assumptions, goal, solver=None) -> str | None:
@@ -52,7 +55,7 @@ def _bounds_check(proc: IR.Proc, solver=None):
     errors = []
 
     def check(goal, facts, what, srcinfo, detail=""):
-        if not _prove(base + facts, goal, solver):
+        if not _prove(base + facts, goal, solver, category="bounds"):
             msg = f"{srcinfo}: cannot prove {what}"
             extras = [detail] if detail else []
             cex = _counterexample(base + facts, goal, solver)
@@ -187,7 +190,7 @@ def _assert_check(proc: IR.Proc, solver=None):
                         )
                     )
         for goal, what in shape_goals:
-            if not _prove(base + facts, goal, solver):
+            if not _prove(base + facts, goal, solver, category="assert"):
                 errors.append(
                     f"{s.srcinfo}: call to {callee.name}: cannot prove {what}"
                 )
@@ -195,7 +198,7 @@ def _assert_check(proc: IR.Proc, solver=None):
             t = lower_expr(pred, _StrideEnv(TypeEnv(callee), stride_extra))
             t = S.substitute(t, sub)
             t = state.subst_term(t)
-            if not _prove(base + facts, t, solver):
+            if not _prove(base + facts, t, solver, category="assert"):
                 errors.append(
                     f"{s.srcinfo}: call to {callee.name}: cannot prove "
                     f"precondition"

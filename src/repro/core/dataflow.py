@@ -305,6 +305,23 @@ def _merge_states(cond: S.Term, a: GlobalState, b: GlobalState) -> GlobalState:
     return out
 
 
+def iter_contexts(proc: IR.Proc) -> list:
+    """Every statement's pre-state from ONE execution-ordered walk: a list
+    of ``(stmt, path, facts, state, tenv)`` tuples in program order.
+
+    This is the bulk counterpart of :func:`state_before` (which re-walks
+    the whole procedure per query): whole-procedure analyses -- the
+    sanitizers in :mod:`repro.analysis.sanitize` -- visit every statement
+    and would otherwise pay a quadratic number of walks."""
+    out = []
+
+    def visit(s, path, facts, state, tenv):
+        out.append((s, path, facts, state.copy(), tenv.copy()))
+
+    Walker(proc, visit).run()
+    return out
+
+
 def state_before(proc: IR.Proc, path) -> tuple:
     """(facts, GlobalState, TypeEnv) immediately before the stmt at ``path``."""
     target = tuple(path)

@@ -24,6 +24,7 @@ from __future__ import annotations
 from ..core import ast as IR
 from ..core.dataflow import GlobalState, state_before
 from ..obs import trace as _obs
+from ..obs.smtstats import query_category as _query_category
 from ..core.ir2smt import proc_assumptions
 from ..core.prelude import SchedulingError, Sym
 from ..smt import terms as S
@@ -56,7 +57,8 @@ def checks_enabled() -> bool:
 
 def _prove(assumptions, goal, solver=None) -> bool:
     solver = solver or DEFAULT_SOLVER
-    return solver.prove(S.implies(S.conj(*assumptions), goal))
+    with _query_category("rewrite"):
+        return solver.prove(S.implies(S.conj(*assumptions), goal))
 
 
 def _fresh_point(rank: int):
@@ -401,14 +403,13 @@ def post_effect(proc: IR.Proc, path):
     tenv = tenv.copy()
     tenv.enter_stmt(stmt)
     ex = EffectExtractor(tenv, GlobalState())
-    # havoc every config field mentioned anywhere (fresh opaque values)
+    # havoc every config field mentioned anywhere (fresh opaque values);
+    # per-statement extraction keeps bindings made by later statements
+    # (an Alloc among the suffix must stay resolvable by its uses)
     after = IR.stmts_after(proc, path)
-    parts = []
-    for s in after:
-        parts.append(ex.block_effect([s]))
     from .effects import eseq
 
-    return eseq(*parts)
+    return eseq(*ex.stmt_effects(after))
 
 
 def check_config_pollution(proc: IR.Proc, path, fields):

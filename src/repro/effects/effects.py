@@ -128,6 +128,11 @@ class EffectExtractor:
         self.tenv = tenv
         self.state = (state or GlobalState()).copy()
 
+    def _spawn(self, state: GlobalState) -> "EffectExtractor":
+        """A child extractor over the same environment (loop-body probing).
+        Subclasses override to preserve their substitutions."""
+        return EffectExtractor(self.tenv, state)
+
     # -- expressions -------------------------------------------------------
 
     def expr_effect(self, e: IR.Expr) -> Eff:
@@ -182,6 +187,16 @@ class EffectExtractor:
             eff = _drop_bufs(eff, local_allocs)
         return eff
 
+    def stmt_effects(self, stmts) -> list:
+        """Per-statement effects of a block, in order.  Unlike
+        :meth:`block_effect`, binding statements (``Alloc``,
+        ``WindowStmt``) are entered into the environment *persistently*
+        and local allocations are **not** scoped out -- callers doing
+        per-statement reasoning (``PostEff``, the sanitizers) need later
+        statements to still resolve names bound earlier in the block, and
+        need the local buffers' accesses to stay visible."""
+        return [self._stmt_effect(s, set()) for s in stmts]
+
     def _stmt_effect(self, s: IR.Stmt, local_allocs) -> Eff:
         if isinstance(s, (IR.Assign, IR.Reduce)):
             parts = [self.expr_effect(i) for i in s.idx]
@@ -225,7 +240,7 @@ class EffectExtractor:
             entry = self.state.copy()
             havoced = set()
             for _round in range(64):
-                probe = EffectExtractor(self.tenv, entry)
+                probe = self._spawn(entry)
                 probe.block_effect(s.body)
                 changed = [
                     f for f in probe.state.changed_fields(entry)
@@ -236,7 +251,7 @@ class EffectExtractor:
                 for f in changed:
                     entry.havoc(f)
                     havoced.add(f)
-            body_ex = EffectExtractor(self.tenv, entry)
+            body_ex = self._spawn(entry)
             body = body_ex.block_effect(s.body)
             # post-loop state: havoc anything the body may change
             exit_state = self.state.copy()
@@ -338,6 +353,9 @@ class _CalleeExtractor(EffectExtractor):
         super().__init__(tenv, state)
         self.sub = sub
         self.stride_extra = stride_extra
+
+    def _spawn(self, state):
+        return _CalleeExtractor(self.tenv, state, self.sub, self.stride_extra)
 
     def _ctrl(self, e: IR.Expr) -> S.Term:
         t = lower_expr(e, _StrideEnv(self.tenv, self.stride_extra))
@@ -476,6 +494,47 @@ def mem(eff: Eff, kinds: str, root: Sym, point) -> S.Term:
         return S.conj(eff.cond, mem(eff.body, kinds, root, point))
     if isinstance(eff, ELoop):
         inner = mem(eff.body, kinds, root, point)
+        if inner == S.FALSE:
+            return S.FALSE
+        x = eff.iter
+        return S.exists(
+            [x],
+            S.conj(S.le(eff.lo, S.Var(x)), S.lt(S.Var(x), eff.hi), inner),
+        )
+    return S.FALSE
+
+
+def mem_exposed(eff: Eff, kinds: str, root: Sym, point) -> S.Term:
+    """Membership of ``point`` in the *exposed* access set of buffer
+    ``root``: accesses of the given kinds not preceded by a definite write
+    within ``eff`` -- the buffer-side analogue of :func:`gmem_exposed`,
+    realizing the sequencing subtraction ``Rd(a1;a2) = Rd(a1) ∪ (Rd(a2) −
+    DWr(a1))`` of Definition 5.5 for ``Locs``.  The shadowing write
+    membership appears negated, so it takes the *definite* reading.
+
+    Loops take the conservative per-iteration view: an access exposed
+    within one iteration counts as exposed (shadowing by *earlier
+    iterations* of the same loop is not credited)."""
+    if isinstance(eff, (ERead, EWrite, EReduce)):
+        for k in kinds:
+            if isinstance(eff, _LEAF[k]) and eff.buf is root:
+                return S.conj(*[S.eq(p, i) for p, i in zip(point, eff.idx)])
+        return S.FALSE
+    if isinstance(eff, ESeq):
+        out = []
+        for i, part in enumerate(eff.parts):
+            exposed = mem_exposed(part, kinds, root, point)
+            if exposed == S.FALSE:
+                continue
+            shadows = [
+                S.negate(mem(prev, "w", root, point)) for prev in eff.parts[:i]
+            ]
+            out.append(S.conj(exposed, *shadows))
+        return S.disj(*out)
+    if isinstance(eff, EGuard):
+        return S.conj(eff.cond, mem_exposed(eff.body, kinds, root, point))
+    if isinstance(eff, ELoop):
+        inner = mem_exposed(eff.body, kinds, root, point)
         if inner == S.FALSE:
             return S.FALSE
         x = eff.iter

@@ -83,6 +83,30 @@ def parallelism_coverage(counters: dict) -> dict:
     return out
 
 
+def absint_fastpath(counters: dict) -> dict:
+    """Interval fast-path totals from the ``analysis.absint.*`` counters:
+    ``{category: {tried, discharged, fellthrough}}`` with a ``"total"``
+    entry, empty when the fast path never ran."""
+    out = {}
+    for key, n in counters.items():
+        if not key.startswith("analysis.absint."):
+            continue
+        parts = key.split(".")
+        if len(parts) == 3:  # analysis.absint.<event>
+            cat, event = "total", parts[2]
+        elif len(parts) == 4:  # analysis.absint.<category>.<event>
+            cat, event = parts[2], parts[3]
+        else:
+            continue
+        if event not in ("tried", "discharged", "fellthrough"):
+            continue
+        d = out.setdefault(
+            cat, {"tried": 0, "discharged": 0, "fellthrough": 0}
+        )
+        d[event] += n
+    return out
+
+
 def compile_profile() -> str:
     """A human-readable per-compile profile (phase, span, and SMT tables)."""
     prof = profile_dict()
@@ -105,8 +129,32 @@ def compile_profile() -> str:
                          span_rows))
 
     smt = prof["smt"]
-    smt_rows = [(k, smt[k]) for k in sorted(smt)]
+    smt_rows = [(k, smt[k]) for k in sorted(smt) if k != "by_category"]
     out.append(table("SMT query stats", ["stat", "value"], smt_rows))
+
+    by_cat = smt.get("by_category")
+    if by_cat:
+        cat_rows = [
+            (cat, d["prove_calls"], d["cache_hits"])
+            for cat, d in sorted(
+                by_cat.items(), key=lambda kv: -kv[1]["prove_calls"]
+            )
+        ]
+        out.append(table("SMT queries by category",
+                         ["category", "prove calls", "cache hits"], cat_rows))
+
+    fp = absint_fastpath(prof["counters"])
+    if fp:
+        fp_rows = [
+            (cat, d["tried"], d["discharged"], d["fellthrough"],
+             f"{100.0 * d['discharged'] / (d['tried'] or 1):.0f}%")
+            for cat, d in sorted(
+                fp.items(), key=lambda kv: (kv[0] != "total", -kv[1]["tried"])
+            )
+        ]
+        out.append(table("Interval fast path (absint)",
+                         ["category", "tried", "discharged", "fell through",
+                          "rate"], fp_rows))
 
     parallelism = prof.get("parallelism")
     if parallelism:

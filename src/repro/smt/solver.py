@@ -18,7 +18,7 @@ from typing import Iterable, List
 from ..core.prelude import InternalError, Sym
 from ..obs import trace as _obs
 from ..obs.smtstats import STATS as _SMT_STATS
-from ..obs.smtstats import QueryCache, canonical_key
+from ..obs.smtstats import QueryCache, canonical_key, current_category
 from . import terms as S
 from .omega import DIV, EQ, GEQ, Constraint, LinExpr, feasible, project
 
@@ -284,15 +284,18 @@ class Solver:
         if key in self._prove_cache:
             self.stats["cache_hits"] += 1
             _SMT_STATS.cache_hits += 1
+            _SMT_STATS.record_prove(current_category(), cache_hit=True)
             return self._prove_cache[key]
         ckey = canonical_key(formula)
         cached = self.qcache.lookup(ckey)
         if cached is not None:
             self.stats["cache_hits"] += 1
             _SMT_STATS.cache_hits += 1
+            _SMT_STATS.record_prove(current_category(), cache_hit=True)
             self._prove_cache[key] = cached
             return cached
         _SMT_STATS.cache_misses += 1
+        _SMT_STATS.record_prove(current_category(), cache_hit=False)
         t0 = time.perf_counter()
         with _obs.span("smt.prove"):
             result = not self.satisfiable(S.negate(formula))
