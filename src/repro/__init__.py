@@ -27,6 +27,14 @@ from .core.prelude import (
     SchedulingError,
     TypeCheckError,
 )
+from .scheduling.cursors import (
+    BlockCursor,
+    Cursor,
+    ExprCursor,
+    GapCursor,
+    InvalidCursorError,
+    StmtCursor,
+)
 
 # scalar and control types, re-exported for use in annotations
 R = _T.R
@@ -62,6 +70,12 @@ __all__ = [
     "BoundsCheckError",
     "AssertCheckError",
     "SchedulingError",
+    "Cursor",
+    "StmtCursor",
+    "BlockCursor",
+    "ExprCursor",
+    "GapCursor",
+    "InvalidCursorError",
     "relu",
     "select",
     "fmin",

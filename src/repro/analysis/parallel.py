@@ -161,7 +161,7 @@ def check_parallel_loop(proc: IR.Proc, loop_path, what="parallelize"):
         _check_parallel_loop(proc, loop_path, loop, what)
 
 
-def check_par_loops(proc: IR.Proc):
+def check_par_loops(proc: IR.Proc, scope=None):
     """Definition-time guard over user-written ``par`` loops.
 
     A loop written ``for i in par(lo, hi):`` in ``@proc`` source gets the
@@ -171,6 +171,11 @@ def check_par_loops(proc: IR.Proc):
     race-free."""
     for path, loop, _depth in _walk_loops(proc.body, (), 0):
         if getattr(loop, "kind", "seq") == "par":
+            if scope is not None:
+                if not scope.needs_subtree(path):
+                    _obs.incr("analysis.incremental.reused")
+                    continue
+                _obs.incr("analysis.incremental.rechecked")
             check_parallel_loop(proc, path, what="par loop")
 
 

@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import functools
 
+from dataclasses import replace as _dc_replace
+
 from .core import ast as IR
+from .core import checks as _checks
 from .core import types as T
 from .core.cgen import compile_procs
 from .core.checks import check_proc as _frontend_check
@@ -30,15 +33,25 @@ from .core.configs import Config, config_from_class
 from .core.interp import run_proc
 from .core.prelude import SchedulingError
 from .core.typecheck import typecheck_proc
+from .effects import api as EA
 from .effects.api import checks_enabled, set_check_mode
 from .frontend.parser import parse_function
 from .obs import journal as _journal
 from .obs import trace as _obs
+from .scheduling import cursors as C
 from .scheduling import primitives as P
 from .scheduling import unify as U
+from .scheduling.cursors import InvalidCursorError
 from .scheduling.eqv import EqvNode, eqv_pollution
-from .scheduling.pattern import find_expr, find_stmt, parse_fragment_expr
-from .scheduling.simplify import simplify_proc
+from .scheduling.pattern import (
+    ExprMatch,
+    StmtMatch,
+    find_expr,
+    find_stmt,
+    get_expr,
+    parse_fragment_expr,
+)
+from .scheduling.simplify import simplify_proc_fwd
 
 
 #: global counter of scheduling directives applied (Fig. 7 reports the
@@ -61,9 +74,18 @@ class Procedure:
         #: from its root ``@proc`` (maintained by the ``_journaled`` hook)
         self._journal: tuple = ()
         self._root: "Procedure" = self
+        #: derivation chain for cursor forwarding: the revision this one
+        #: was derived from, and the Forwarder of the deriving rewrite
+        self._parent: "Procedure | None" = None
+        self._fwd = None
+        #: True when this revision's safety obligations have all been
+        #: discharged (directly or incrementally); incremental re-checking
+        #: is only sound on top of a verified parent
+        self._verified: bool = False
         _EQV_OF_IR[id(loopir_proc)] = self._eqv
         if not _checked and checks_enabled():
             _frontend_check(loopir_proc)
+            self._verified = True
 
     # -- introspection --------------------------------------------------------
 
@@ -111,56 +133,169 @@ class Procedure:
 
     # -- scheduling ------------------------------------------------------------
 
-    def _derive(self, new_ir: IR.Proc, pollution=frozenset()) -> "Procedure":
+    def _derive(self, new_ir: IR.Proc, pollution=frozenset(),
+                fwd=None) -> "Procedure":
         SCHEDULE_OP_COUNT[0] += 1
-        new_ir = typecheck_proc(simplify_proc(new_ir))
+        if fwd is None:
+            fwd = C.FallbackForwarder("this rewrite provides no forwarding")
+        new_ir, simp_fwd = simplify_proc_fwd(new_ir)
+        if simp_fwd is not None:
+            fwd = C.compose(fwd, simp_fwd)
+        new_ir = typecheck_proc(new_ir)
         if checks_enabled():
-            _frontend_check(new_ir)
+            # incremental only on top of a fully-verified parent revision
+            _checks.check_proc_incremental(
+                new_ir, fwd if self._verified else None
+            )
         node = EqvNode(self._eqv, pollution)
-        return Procedure(new_ir, _eqv=node, _checked=True)
+        out = Procedure(new_ir, _eqv=node, _checked=True)
+        out._verified = checks_enabled()
+        out._parent = self
+        out._fwd = fwd
+        return out
+
+    # -- cursors ---------------------------------------------------------------
+
+    def find(self, pattern: str):
+        """A live cursor for the single statement (or block) matching
+        ``pattern``, usable as the target of any scheduling directive and
+        forwardable across rewrites via :meth:`forward` (Exo 2 cursors).
+        Ambiguous patterns raise, listing the candidates."""
+        (m,) = find_stmt(self._loopir_proc, pattern, one=True)
+        if m.count > 1:
+            return C.BlockCursor(self, m.path, n=m.count)
+        return C.StmtCursor(self, m.path)
+
+    def find_all(self, pattern: str) -> list:
+        """Cursors for every match of ``pattern``, in program order."""
+        out = []
+        for m in find_stmt(self._loopir_proc, pattern):
+            if m.count > 1:
+                out.append(C.BlockCursor(self, m.path, n=m.count))
+            else:
+                out.append(C.StmtCursor(self, m.path))
+        return out
+
+    def find_expr_cursor(self, pattern: str):
+        """A cursor for the single expression matching ``pattern``."""
+        (m,) = find_expr(self._loopir_proc, pattern, one=True)
+        return C.ExprCursor(self, m.path, expr_path=m.expr_path)
+
+    def forward(self, cursor):
+        """Forward a cursor taken on an ancestor revision to this one, by
+        composing the forwarders of every rewrite in between."""
+        if not isinstance(cursor, C.Cursor):
+            raise TypeError(f"forward: expected a Cursor, got {type(cursor).__name__}")
+        if cursor.proc is self:
+            return cursor
+        chain = []
+        node = self
+        while node is not None and node is not cursor.proc:
+            chain.append(node)
+            node = node._parent
+        if node is None:
+            raise InvalidCursorError(
+                f"cursor does not belong to this procedure or an ancestor "
+                f"revision of {self.name()!r}"
+            )
+        path = cursor.path
+        for p in reversed(chain):
+            if p._fwd is None:
+                raise InvalidCursorError(
+                    "no forwarding information across this derivation step"
+                )
+            path = p._fwd.map_path(path)
+        return _dc_replace(cursor, proc=self, path=path)
+
+    def _resolve_stmt(self, target, what: str = "target") -> StmtMatch:
+        """Resolve a directive target — a pattern string, a live cursor
+        (forwarded here first), or a journal PathRef — to a StmtMatch."""
+        if isinstance(target, C.Cursor):
+            if isinstance(target, (C.ExprCursor, C.GapCursor)):
+                raise SchedulingError(
+                    f"{what}: expected a statement or block cursor"
+                )
+            cur = self.forward(target)
+            cur._resolve_stmts()  # fail early if the path is stale
+            return StmtMatch(cur.path, cur.count, origin="<cursor>")
+        if isinstance(target, _journal.PathRef):
+            path = tuple(tuple(s) for s in target.path)
+            return StmtMatch(path, target.count, origin="<pathref>")
+        (m,) = find_stmt(self._loopir_proc, target, one=True)
+        return m
+
+    def _resolve_exprs(self, target) -> list:
+        """Resolve an expression target (pattern / ExprCursor / PathRef)
+        to a list of ExprMatches."""
+        if isinstance(target, C.ExprCursor):
+            cur = self.forward(target)
+            stmt = IR.get_stmt(self._loopir_proc, cur.path)
+            return [ExprMatch(cur.path, cur.expr_path,
+                              get_expr(stmt, cur.expr_path))]
+        if isinstance(target, _journal.PathRef) and target.expr_path is not None:
+            path = tuple(tuple(s) for s in target.path)
+            ep = tuple(tuple(s) for s in target.expr_path)
+            stmt = IR.get_stmt(self._loopir_proc, path)
+            return [ExprMatch(path, ep, get_expr(stmt, ep))]
+        return find_expr(self._loopir_proc, target)
+
+    def _journal_arg(self, v):
+        """Journal representation of a directive argument: live cursors
+        become PathRefs (resolved against this revision), everything else
+        is stored by reference."""
+        if isinstance(v, C.ExprCursor):
+            cur = self.forward(v)
+            return _journal.PathRef(cur.path, 1, expr_path=cur.expr_path)
+        if isinstance(v, C.Cursor):
+            cur = self.forward(v)
+            return _journal.PathRef(cur.path, cur.count)
+        return v
+
+    # -- directives ------------------------------------------------------------
 
     def rename(self, name: str) -> "Procedure":
-        from dataclasses import replace as dc_replace
-
-        return self._derive(dc_replace(self._loopir_proc, name=name))
+        return self._derive(
+            _dc_replace(self._loopir_proc, name=name),
+            fwd=C.IdentityForwarder(),
+        )
 
     def simplify(self) -> "Procedure":
-        return self._derive(self._loopir_proc)
+        return self._derive(self._loopir_proc, fwd=C.IdentityForwarder())
 
-    def split(self, loop: str, factor: int, hi: str, lo: str,
+    def split(self, loop, factor: int, hi: str, lo: str,
               tail: str = "guard") -> "Procedure":
         """Fig. 2 split: ``for i<N`` -> ``for io<N/c: for ii<c``."""
-        (m,) = find_stmt(self._loopir_proc, loop, _one=True)
-        ir, pol = P.split(self._loopir_proc, m, factor, hi, lo, tail)
-        return self._derive(ir, pol)
+        m = self._resolve_stmt(loop, "split")
+        ir, pol, fwd = P.split(self._loopir_proc, m, factor, hi, lo, tail)
+        return self._derive(ir, pol, fwd)
 
-    def reorder(self, loop: str) -> "Procedure":
+    def reorder(self, loop) -> "Procedure":
         """Fig. 2 reorder: swap a loop with the one nested inside it."""
-        (m,) = find_stmt(self._loopir_proc, loop, _one=True)
-        ir, pol = P.reorder_loops(self._loopir_proc, m)
-        return self._derive(ir, pol)
+        m = self._resolve_stmt(loop, "reorder")
+        ir, pol, fwd = P.reorder_loops(self._loopir_proc, m)
+        return self._derive(ir, pol, fwd)
 
-    def unroll(self, loop: str) -> "Procedure":
-        (m,) = find_stmt(self._loopir_proc, loop, _one=True)
-        ir, pol = P.unroll(self._loopir_proc, m)
-        return self._derive(ir, pol)
+    def unroll(self, loop) -> "Procedure":
+        m = self._resolve_stmt(loop, "unroll")
+        ir, pol, fwd = P.unroll(self._loopir_proc, m)
+        return self._derive(ir, pol, fwd)
 
-    def inline(self, call: str) -> "Procedure":
-        (m,) = find_stmt(self._loopir_proc, call, _one=True)
-        ir, pol = P.inline_call(self._loopir_proc, m)
-        return self._derive(ir, pol)
+    def inline(self, call) -> "Procedure":
+        m = self._resolve_stmt(call, "inline")
+        ir, pol, fwd = P.inline_call(self._loopir_proc, m)
+        return self._derive(ir, pol, fwd)
 
     def set_memory(self, name: str, mem) -> "Procedure":
-        ir, pol = P.set_memory(self._loopir_proc, name, mem)
-        return self._derive(ir, pol)
+        ir, pol, fwd = P.set_memory(self._loopir_proc, name, mem)
+        return self._derive(ir, pol, fwd)
 
     def set_precision(self, name: str, typ) -> "Procedure":
-        ir, pol = P.set_precision(self._loopir_proc, name, typ)
-        return self._derive(ir, pol)
+        ir, pol, fwd = P.set_precision(self._loopir_proc, name, typ)
+        return self._derive(ir, pol, fwd)
 
-    def call_eqv(self, eqv_proc: "Procedure", call: str) -> "Procedure":
+    def call_eqv(self, eqv_proc: "Procedure", call) -> "Procedure":
         """Fig. 2 call_eqv: swap a call for an equivalent procedure."""
-        (m,) = find_stmt(self._loopir_proc, call, _one=True)
+        m = self._resolve_stmt(call, "call_eqv")
         call_stmt = IR.get_stmt(self._loopir_proc, m.path)
         if not isinstance(call_stmt, IR.Call):
             raise SchedulingError("call_eqv: pattern must match a call")
@@ -170,19 +305,19 @@ class Procedure:
                 "call_eqv: the current callee has no provenance record"
             )
         pollution = eqv_pollution(old_node, eqv_proc._eqv)
-        ir, pol = P.call_eqv(
+        ir, pol, fwd = P.call_eqv(
             self._loopir_proc, m, eqv_proc._loopir_proc, pollution
         )
-        return self._derive(ir, pol)
+        return self._derive(ir, pol, fwd)
 
-    def bind_expr(self, new_name: str, expr: str) -> "Procedure":
-        ms = find_expr(self._loopir_proc, expr)
-        ir, pol = P.bind_expr(self._loopir_proc, ms, new_name)
-        return self._derive(ir, pol)
+    def bind_expr(self, new_name: str, expr) -> "Procedure":
+        ms = self._resolve_exprs(expr)
+        ir, pol, fwd = P.bind_expr(self._loopir_proc, ms, new_name)
+        return self._derive(ir, pol, fwd)
 
-    def stage_mem(self, block: str, window: str, new_name: str) -> "Procedure":
+    def stage_mem(self, block, window: str, new_name: str) -> "Procedure":
         """Fig. 2 stage_mem: stage a window of a buffer around a block."""
-        (m,) = find_stmt(self._loopir_proc, block, _one=True)
+        m = self._resolve_stmt(block, "stage_mem")
         wexpr = parse_fragment_expr(self._loopir_proc, m.path, window)
         if not isinstance(wexpr, IR.WindowExpr):
             if isinstance(wexpr, IR.Read):
@@ -194,69 +329,83 @@ class Procedure:
                 )
             else:
                 raise SchedulingError("stage_mem: window must be buf[lo:hi, ...]")
-        ir, pol = P.stage_mem(self._loopir_proc, m, wexpr, new_name)
-        return self._derive(ir, pol)
+        ir, pol, fwd = P.stage_mem(self._loopir_proc, m, wexpr, new_name)
+        return self._derive(ir, pol, fwd)
 
-    def bind_config(self, expr: str, config: Config, field: str) -> "Procedure":
-        ms = find_expr(self._loopir_proc, expr)
-        ir, pol = P.bind_config(self._loopir_proc, ms[0], config, field)
-        return self._derive(ir, pol)
+    def bind_config(self, expr, config: Config, field: str) -> "Procedure":
+        ms = self._resolve_exprs(expr)
+        ir, pol, fwd = P.bind_config(self._loopir_proc, ms[0], config, field)
+        return self._derive(ir, pol, fwd)
 
-    def expand_dim(self, alloc: str, extent: str, index: str) -> "Procedure":
+    def expand_dim(self, alloc, extent: str, index: str) -> "Procedure":
         """Give a per-iteration allocation an extra dimension indexed by a
         loop iterator (the enabling step before lift_alloc)."""
-        (m,) = find_stmt(self._loopir_proc, alloc, _one=True)
+        m = self._resolve_stmt(alloc, "expand_dim")
         ext_e = parse_fragment_expr(self._loopir_proc, m.path, extent)
         idx_e = parse_fragment_expr(self._loopir_proc, m.path, index)
-        ir, pol = P.expand_dim(self._loopir_proc, m, ext_e, idx_e)
-        return self._derive(ir, pol)
+        ir, pol, fwd = P.expand_dim(self._loopir_proc, m, ext_e, idx_e)
+        return self._derive(ir, pol, fwd)
 
-    def lift_alloc(self, alloc: str, n_lifts: int = 1) -> "Procedure":
-        (m,) = find_stmt(self._loopir_proc, alloc, _one=True)
-        ir, pol = P.lift_alloc(self._loopir_proc, m, n_lifts)
-        return self._derive(ir, pol)
+    def lift_alloc(self, alloc, n_lifts: int = 1) -> "Procedure":
+        m = self._resolve_stmt(alloc, "lift_alloc")
+        ir, pol, fwd = P.lift_alloc(self._loopir_proc, m, n_lifts)
+        return self._derive(ir, pol, fwd)
 
-    def fission_after(self, stmt: str, n_lifts: int = 1) -> "Procedure":
-        (m,) = find_stmt(self._loopir_proc, stmt, _one=True)
-        ir, pol = P.fission_after(self._loopir_proc, m, n_lifts)
-        return self._derive(ir, pol)
+    def fission_after(self, stmt, n_lifts: int = 1) -> "Procedure":
+        m = self._resolve_stmt(stmt, "fission_after")
+        ir, pol, fwd = P.fission_after(self._loopir_proc, m, n_lifts)
+        return self._derive(ir, pol, fwd)
 
-    def reorder_stmts(self, first: str) -> "Procedure":
+    def reorder_stmts(self, first) -> "Procedure":
         """Swap the matched statement block with the statement after it."""
-        (m,) = find_stmt(self._loopir_proc, first, _one=True)
-        ir, pol = P.reorder_stmts(self._loopir_proc, m)
-        return self._derive(ir, pol)
+        m = self._resolve_stmt(first, "reorder_stmts")
+        ir, pol, fwd = P.reorder_stmts(self._loopir_proc, m)
+        return self._derive(ir, pol, fwd)
 
-    def reorder_before(self, stmt: str) -> "Procedure":
+    def reorder_before(self, stmt) -> "Procedure":
         """Move the matched statement before its predecessor."""
-        (m,) = find_stmt(self._loopir_proc, stmt, _one=True)
+        m = self._resolve_stmt(stmt, "reorder_before")
         fld, idx = m.path[-1]
         if idx == 0:
             raise SchedulingError("reorder_before: nothing precedes the statement")
         prev = P.StmtMatch(m.path[:-1] + ((fld, idx - 1),), 1)
-        ir, pol = P.reorder_stmts(self._loopir_proc, prev)
-        return self._derive(ir, pol)
+        ir, pol, fwd = P.reorder_stmts(self._loopir_proc, prev)
+        return self._derive(ir, pol, fwd)
 
-    def configwrite_at(self, stmt: str, config: Config, field: str,
+    def configwrite_at(self, stmt, config: Config, field: str,
                        rhs: str) -> "Procedure":
         """§5.7 "new config write": insert ``config.field = rhs`` after stmt."""
-        (m,) = find_stmt(self._loopir_proc, stmt, _one=True)
+        m = self._resolve_stmt(stmt, "configwrite_at")
         rhs_e = parse_fragment_expr(self._loopir_proc, m.path, rhs)
-        ir, pol = P.configwrite_after(self._loopir_proc, m, config, field, rhs_e)
-        return self._derive(ir, pol)
+        ir, pol, fwd = P.configwrite_after(self._loopir_proc, m, config, field, rhs_e)
+        return self._derive(ir, pol, fwd)
 
     def configwrite_root(self, config: Config, field: str, rhs: str) -> "Procedure":
         rhs_e = parse_fragment_expr(self._loopir_proc, (("body", 0),), rhs)
-        ir, pol = P.configwrite_root(self._loopir_proc, config, field, rhs_e)
-        return self._derive(ir, pol)
+        ir, pol, fwd = P.configwrite_root(self._loopir_proc, config, field, rhs_e)
+        return self._derive(ir, pol, fwd)
 
-    def replace(self, subproc: "Procedure", block: str) -> "Procedure":
+    def _replace_fwd(self, m: StmtMatch, subproc: "Procedure"):
+        """Forwarder for a unification replace: the matched region collapses
+        to a single call, so cursors inside it die; siblings shift."""
+        old_stmts = EA._block_at(self._loopir_proc, m.path)
+        fld, i = m.path[-1]
+        region = old_stmts[i : i + m.count]
+        dirty = (
+            C.stmts_write_config(region)
+            or C.stmts_write_config(subproc._loopir_proc.body)
+        )
+        return C.SpliceForwarder(
+            m.path, m.count, 1, interior=None, ctx_dirty=dirty
+        )
+
+    def replace(self, subproc: "Procedure", block) -> "Procedure":
         """§3.4 unification-based replacement / instruction selection."""
-        (m,) = find_stmt(self._loopir_proc, block, _one=True)
+        m = self._resolve_stmt(block, "replace")
         ir = U.replace_block(
             self._loopir_proc, m.path, m.count, subproc._loopir_proc
         )
-        return self._derive(ir)
+        return self._derive(ir, fwd=self._replace_fwd(m, subproc))
 
     def replace_all(self, subproc: "Procedure") -> "Procedure":
         """Replace every block matching ``subproc``'s body shape."""
@@ -272,44 +421,44 @@ class Procedure:
                     )
                 except SchedulingError:
                     continue
-                out = out._derive(ir)
+                out = out._derive(ir, fwd=out._replace_fwd(m, subproc))
                 progress = True
                 break
         return out
 
-    def add_guard(self, stmt: str, cond: str) -> "Procedure":
-        (m,) = find_stmt(self._loopir_proc, stmt, _one=True)
+    def add_guard(self, stmt, cond: str) -> "Procedure":
+        m = self._resolve_stmt(stmt, "add_guard")
         cond_e = parse_fragment_expr(self._loopir_proc, m.path, cond)
-        ir, pol = P.add_guard(self._loopir_proc, m, cond_e)
-        return self._derive(ir, pol)
+        ir, pol, fwd = P.add_guard(self._loopir_proc, m, cond_e)
+        return self._derive(ir, pol, fwd)
 
-    def fuse_loop(self, first_loop: str) -> "Procedure":
-        (m,) = find_stmt(self._loopir_proc, first_loop, _one=True)
-        ir, pol = P.fuse_loops(self._loopir_proc, m)
-        return self._derive(ir, pol)
+    def fuse_loop(self, first_loop) -> "Procedure":
+        m = self._resolve_stmt(first_loop, "fuse_loop")
+        ir, pol, fwd = P.fuse_loops(self._loopir_proc, m)
+        return self._derive(ir, pol, fwd)
 
-    def lift_if(self, loop: str) -> "Procedure":
-        (m,) = find_stmt(self._loopir_proc, loop, _one=True)
-        ir, pol = P.lift_if(self._loopir_proc, m)
-        return self._derive(ir, pol)
+    def lift_if(self, loop) -> "Procedure":
+        m = self._resolve_stmt(loop, "lift_if")
+        ir, pol, fwd = P.lift_if(self._loopir_proc, m)
+        return self._derive(ir, pol, fwd)
 
-    def partition_loop(self, loop: str, cut: int) -> "Procedure":
-        (m,) = find_stmt(self._loopir_proc, loop, _one=True)
-        ir, pol = P.partition_loop(self._loopir_proc, m, cut)
-        return self._derive(ir, pol)
+    def partition_loop(self, loop, cut: int) -> "Procedure":
+        m = self._resolve_stmt(loop, "partition_loop")
+        ir, pol, fwd = P.partition_loop(self._loopir_proc, m, cut)
+        return self._derive(ir, pol, fwd)
 
-    def remove_loop(self, loop: str) -> "Procedure":
-        (m,) = find_stmt(self._loopir_proc, loop, _one=True)
-        ir, pol = P.remove_loop(self._loopir_proc, m)
-        return self._derive(ir, pol)
+    def remove_loop(self, loop) -> "Procedure":
+        m = self._resolve_stmt(loop, "remove_loop")
+        ir, pol, fwd = P.remove_loop(self._loopir_proc, m)
+        return self._derive(ir, pol, fwd)
 
-    def parallelize(self, loop: str) -> "Procedure":
+    def parallelize(self, loop) -> "Procedure":
         """Mark a loop parallel after proving its iterations independent
         (no cross-iteration buffer conflict, no config writes); the C
         backend then emits ``#pragma omp parallel for`` for it."""
-        (m,) = find_stmt(self._loopir_proc, loop, _one=True)
-        ir, pol = P.parallelize(self._loopir_proc, m)
-        return self._derive(ir, pol)
+        m = self._resolve_stmt(loop, "parallelize")
+        ir, pol, fwd = P.parallelize(self._loopir_proc, m)
+        return self._derive(ir, pol, fwd)
 
     def lint(self):
         """Run the race detector over every loop, classifying each as
@@ -329,8 +478,8 @@ class Procedure:
         return _sanitize(self._loopir_proc)
 
     def delete_pass(self) -> "Procedure":
-        ir, pol = P.delete_pass(self._loopir_proc)
-        return self._derive(ir, pol)
+        ir, pol, fwd = P.delete_pass(self._loopir_proc)
+        return self._derive(ir, pol, fwd)
 
 
 # ---------------------------------------------------------------------------
@@ -370,7 +519,9 @@ def _journaled(name, fn):
                 else _journal.VERDICT_UNCHECKED
             )
             out._journal = self._journal + (
-                _journal.make_record(name, args, kwargs, verdict),
+                _journal.make_record(
+                    name, args, kwargs, verdict, resolve=self._journal_arg
+                ),
             )
             out._root = self._root
         return out
@@ -397,23 +548,6 @@ def _candidate_blocks(proc: IR.Proc, callee: IR.Proc):
                     StmtMatch(prefix[:-1] + ((prefix[-1][0], i),), want)
                 )
     return out
-
-
-# patch find_stmt to return exactly one match when requested
-_orig_find_stmt = find_stmt
-
-
-@functools.wraps(_orig_find_stmt)
-def find_stmt(proc, pattern, index=None, _one=False):  # noqa: F811
-    matches = _orig_find_stmt(proc, pattern, index)
-    if _one:
-        if len(matches) > 1:
-            raise SchedulingError(
-                f"pattern {pattern!r} is ambiguous ({len(matches)} matches); "
-                f"disambiguate with '#n'"
-            )
-        return matches[:1]
-    return matches
 
 
 # ---------------------------------------------------------------------------

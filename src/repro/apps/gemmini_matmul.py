@@ -58,7 +58,30 @@ def matmul_base(N: size, M: size, K: size,
 
 def _tile(p):
     """Tile the iteration space into 16x16x16 blocks and expand the
-    accumulator scalar into a tile."""
+    accumulator scalar into a tile.
+
+    Cursor style: the accumulator allocation is located once and forwarded
+    through both ``expand_dim`` rewrites into ``lift_alloc`` automatically.
+    """
+    p = p.split(p.find("for i in _: _"), 16, "io", "ii", tail="perfect")
+    p = p.split(p.find("for j in _: _"), 16, "jo", "ji", tail="perfect")
+    p = p.reorder(p.find("for ii in _: _"))  # io, jo, ii, ji
+    res = p.find("res : _")
+    p = p.expand_dim(res, "16", "ji")
+    p = p.expand_dim(res, "16", "ii")
+    p = p.lift_alloc(res, 2)
+    p = p.fission_after(p.find("res[_] = 0.0"), 2)
+    p = p.fission_after(p.find("for k in _: _"), 2)
+    p = p.split(p.find("for k in _: _"), 16, "ko", "ki", tail="perfect")
+    # accumulate nest: ii, ji, ko, ki  ->  ko, ii, ji, ki
+    p = p.reorder(p.find("for ji in _: _ #1"))  # ji <-> ko under ii
+    p = p.reorder(p.find("for ii in _: _ #1"))  # ii <-> ko
+    return p
+
+
+def _tile_patterns(p):
+    """The pre-cursor, pattern-string-steered version of :func:`_tile`;
+    kept as a compatibility reference for the byte-identical-C test."""
     p = p.split("for i in _: _", 16, "io", "ii", tail="perfect")
     p = p.split("for j in _: _", 16, "jo", "ji", tail="perfect")
     p = p.reorder("for ii in _: _")  # io, jo, ii, ji
@@ -68,7 +91,6 @@ def _tile(p):
     p = p.fission_after("res[_] = 0.0", 2)
     p = p.fission_after("for k in _: _", 2)
     p = p.split("for k in _: _", 16, "ko", "ki", tail="perfect")
-    # accumulate nest: ii, ji, ko, ki  ->  ko, ii, ji, ki
     p = p.reorder("for ji in _: _ #1")  # ji <-> ko under ii
     p = p.reorder("for ii in _: _ #1")  # ii <-> ko
     return p
@@ -76,6 +98,20 @@ def _tile(p):
 
 def _stage(p):
     """Stage the A and B tiles into new buffers (to become scratchpad)."""
+    p = p.stage_mem(
+        p.find("for ii in _: _ #1"),
+        "A[16*io:16*io+16, 16*ko:16*ko+16]",
+        "a",
+    )
+    p = p.stage_mem(
+        p.find("for ii in _: _ #1"),
+        "B[16*ko:16*ko+16, 16*jo:16*jo+16]",
+        "b",
+    )
+    return p
+
+
+def _stage_patterns(p):
     p = p.stage_mem(
         "for ii in _: _ #1",
         "A[16*io:16*io+16, 16*ko:16*ko+16]",
@@ -140,6 +176,20 @@ def matmul_exo():
     # *before* selecting the split (assert-carrying) instructions: the
     # assertion checker then proves every do_ld/do_st precondition from the
     # config dataflow
+    p = _hoist_configs(p)
+    p = _select_instrs(p, fused=False)
+    p = _set_memories(p)
+    return p
+
+
+@lru_cache(maxsize=None)
+def matmul_exo_patterns():
+    """The Exo-lib schedule steered purely by pattern strings (the
+    pre-cursor style); its C output is asserted byte-identical to
+    :func:`matmul_exo`'s."""
+    p = matmul_base.rename("matmul_exo")
+    p = _tile_patterns(p)
+    p = _stage_patterns(p)
     p = _hoist_configs(p)
     p = _select_instrs(p, fused=False)
     p = _set_memories(p)

@@ -103,13 +103,7 @@ def sgemm_base(M: size, N: size, K: size,
                 C[i, j] += A[i, k] * B[k, j]
 
 
-@lru_cache(maxsize=None)
-def sgemm_exo(mr: int = MR, nv: int = NV):
-    """The main SGEMM kernel (divisible sizes): tile, rewrite the inner
-    nest into the rank-1-update order, abstract it into the micro-kernel by
-    unification, and swap in the vectorized equivalent."""
-    nw = nv * 16
-    algo, sched = make_microkernel(mr, nv)
+def _sgemm_algorithm(mr: int, nw: int):
     src = f"""
 from __future__ import annotations
 from repro import proc, DRAM, f32, size
@@ -129,7 +123,43 @@ def sgemm_exo(M: size, N: size, K: size,
 """
     from ..api import procs_from_source
 
-    p = procs_from_source(src)["sgemm_exo"]
+    return procs_from_source(src)["sgemm_exo"]
+
+
+@lru_cache(maxsize=None)
+def sgemm_exo(mr: int = MR, nv: int = NV):
+    """The main SGEMM kernel (divisible sizes): tile, rewrite the inner
+    nest into the rank-1-update order, abstract it into the micro-kernel by
+    unification, and swap in the vectorized equivalent.
+
+    Scheduled in cursor style: loops are located once with ``find`` and
+    forwarded across the intervening rewrites automatically when used as
+    directive targets."""
+    nw = nv * 16
+    algo, sched = make_microkernel(mr, nv)
+    p = _sgemm_algorithm(mr, nw)
+    i_loop = p.find("for i in _: _")
+    j_loop = p.find("for j in _: _")
+    k_loop = p.find("for k in _: _")
+    p = p.split(i_loop, mr, "io", "ii", tail="perfect")
+    p = p.split(j_loop, nw, "jo", "ji", tail="perfect")
+    p = p.reorder(p.find("for ii in _: _"))  # io, jo, ii, ji, k
+    # bring k outermost within the tile: ii, ji, k -> k, ii, ji
+    p = p.reorder(p.find("for ji in _: _"))  # ji <-> k
+    p = p.reorder(p.find("for ii in _: _"))  # ii <-> k
+    p = p.replace(algo, k_loop)
+    p = p.call_eqv(sched, f"ukernel_{mr}x{nw}(_)")
+    return p
+
+
+@lru_cache(maxsize=None)
+def sgemm_exo_patterns(mr: int = MR, nv: int = NV):
+    """The same derivation steered purely by pattern strings (the pre-cursor
+    style); kept as a compatibility reference — its C output is asserted
+    byte-identical to :func:`sgemm_exo`'s."""
+    nw = nv * 16
+    algo, sched = make_microkernel(mr, nv)
+    p = _sgemm_algorithm(mr, nw)
     p = p.split("for i in _: _", mr, "io", "ii", tail="perfect")
     p = p.split("for j in _: _", nw, "jo", "ji", tail="perfect")
     p = p.reorder("for ii in _: _")  # io, jo, ii, ji, k

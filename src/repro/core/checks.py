@@ -9,9 +9,20 @@
   the callee's asserted preconditions, using the configuration dataflow to
   resolve config-field reads (so ``assert Config.src_stride == stride(src,
   0)`` is provable right after the corresponding config write).
+
+* **Incremental re-checking**: when a scheduling rewrite supplies a precise
+  :class:`~repro.scheduling.cursors.Forwarder`, :func:`check_proc_incremental`
+  re-discharges only the obligations the rewrite could have invalidated —
+  those inside a touched subtree, or (when config state moved) downstream
+  of a touched path — and reuses the parent revision's verdicts for the
+  rest.  ``analysis.incremental.{reused,rechecked,fallback}`` counters
+  record the savings; set ``REPRO_INCREMENTAL=0`` (or
+  :func:`set_incremental`) to force the full pipeline.
 """
 
 from __future__ import annotations
+
+import os
 
 from ..obs import trace as _obs
 from ..smt import terms as S
@@ -44,13 +55,17 @@ def _counterexample(assumptions, goal, solver=None) -> str | None:
     return ", ".join(f"{s.name} = {v}" for s, v in items[:8])
 
 
-def bounds_check(proc: IR.Proc, solver=None):
-    """Prove every access in ``proc`` in-bounds; raise on failure."""
+def bounds_check(proc: IR.Proc, solver=None, scope=None):
+    """Prove every access in ``proc`` in-bounds; raise on failure.
+
+    With a :class:`RecheckScope`, only obligations the scope marks dirty
+    are re-proven (the walk still runs in full, maintaining dataflow
+    state, but goal assembly and proving are skipped elsewhere)."""
     with _obs.span("effects.bounds_check"):
-        _bounds_check(proc, solver)
+        _bounds_check(proc, solver, scope)
 
 
-def _bounds_check(proc: IR.Proc, solver=None):
+def _bounds_check(proc: IR.Proc, solver=None, scope=None):
     base = proc_assumptions(proc)
     errors = []
 
@@ -123,7 +138,12 @@ def _bounds_check(proc: IR.Proc, solver=None):
                             ),
                         )
 
-    def visit(s, _path, facts, state, tenv):
+    def visit(s, path, facts, state, tenv):
+        if scope is not None:
+            if not scope.needs(path):
+                _obs.incr("analysis.incremental.reused")
+                return
+            _obs.incr("analysis.incremental.rechecked")
         for e in IR.stmt_exprs(s):
             check_expr(e, facts, tenv, state)
         if isinstance(s, (IR.Assign, IR.Reduce)) and s.idx:
@@ -144,19 +164,24 @@ def _bounds_check(proc: IR.Proc, solver=None):
         raise BoundsCheckError("\n".join(errors))
 
 
-def assert_check(proc: IR.Proc, solver=None):
+def assert_check(proc: IR.Proc, solver=None, scope=None):
     """Prove every call's preconditions; raise on failure."""
     with _obs.span("effects.assert_check"):
-        _assert_check(proc, solver)
+        _assert_check(proc, solver, scope)
 
 
-def _assert_check(proc: IR.Proc, solver=None):
+def _assert_check(proc: IR.Proc, solver=None, scope=None):
     base = proc_assumptions(proc)
     errors = []
 
-    def visit(s, _path, facts, state, tenv):
+    def visit(s, path, facts, state, tenv):
         if not isinstance(s, IR.Call):
             return
+        if scope is not None:
+            if not scope.needs(path):
+                _obs.incr("analysis.incremental.reused")
+                return
+            _obs.incr("analysis.incremental.rechecked")
         callee = s.proc
         sub = {}
         stride_extra = {}
@@ -229,3 +254,110 @@ def check_proc(proc: IR.Proc, solver=None):
     from ..analysis.parallel import check_par_loops  # deferred: avoids cycle
 
     check_par_loops(proc)
+
+
+# ---------------------------------------------------------------------------
+# Incremental re-checking (driven by rewrite forwarders)
+# ---------------------------------------------------------------------------
+
+_INCREMENTAL = [os.environ.get("REPRO_INCREMENTAL", "1") != "0"]
+
+
+def incremental_enabled() -> bool:
+    return _INCREMENTAL[0]
+
+
+def set_incremental(on: bool) -> bool:
+    """Toggle incremental re-checking; returns the previous setting."""
+    prev = _INCREMENTAL[0]
+    _INCREMENTAL[0] = bool(on)
+    return prev
+
+
+def _is_prefix(a, b) -> bool:
+    return len(a) <= len(b) and tuple(b[: len(a)]) == tuple(a)
+
+
+def _precedes(t, q) -> bool:
+    """Does path ``t`` come strictly before ``q`` in program order, within
+    the same control-flow branch?  (Divergence at an If's body/orelse means
+    neither context can observe the other's config writes.)"""
+    for (tf, ti), (qf, qi) in zip(t, q):
+        if tf != qf:
+            return False
+        if ti != qi:
+            return ti < qi
+    return False
+
+
+class RecheckScope:
+    """Decides, per obligation path, whether a rewrite described by
+    ``(touched, ctx_dirty)`` could have invalidated the parent revision's
+    verdict for it.
+
+    An obligation at ``q`` must be re-proven when a touched path is a
+    prefix of ``q`` (the statement or an ancestor was rewritten), or —
+    when the rewrite moved config state — when some touched path either
+    precedes ``q`` in program order or shares an enclosing loop with it
+    (loop entry joins the body's config writes, so even an *earlier*
+    statement in the same loop can observe a later write)."""
+
+    def __init__(self, proc: IR.Proc, touched, ctx_dirty: bool):
+        self.touched = [tuple(t) for t in touched]
+        self.ctx_dirty = ctx_dirty
+        self._loop_prefixes = []
+        if ctx_dirty:
+            seen = set()
+            for t in self.touched:
+                for k in range(1, len(t)):
+                    pre = t[:k]
+                    if pre in seen:
+                        continue
+                    seen.add(pre)
+                    try:
+                        if isinstance(IR.get_stmt(proc, pre), IR.For):
+                            self._loop_prefixes.append(pre)
+                    except (IndexError, AttributeError):
+                        pass
+
+    def needs(self, path) -> bool:
+        path = tuple(path)
+        for t in self.touched:
+            if _is_prefix(t, path):
+                return True
+            if self.ctx_dirty and _precedes(t, path):
+                return True
+        if self.ctx_dirty:
+            for pre in self._loop_prefixes:
+                if _is_prefix(pre, path):
+                    return True
+        return False
+
+    def needs_subtree(self, path) -> bool:
+        """``needs`` for whole-subtree obligations (par-loop race checks):
+        also dirty when a touched path lies inside the subtree."""
+        path = tuple(path)
+        if self.needs(path):
+            return True
+        return any(_is_prefix(path, t) for t in self.touched)
+
+
+def check_proc_incremental(proc: IR.Proc, fwd, solver=None):
+    """Like :func:`check_proc`, but when ``fwd`` (the rewrite's Forwarder)
+    is precise, reuse the parent revision's verdicts for every obligation
+    outside the rewrite's blast radius.  ``fwd=None`` or an imprecise
+    forwarder falls back to the full pipeline."""
+    if (
+        fwd is None
+        or not getattr(fwd, "precise", False)
+        or not _INCREMENTAL[0]
+    ):
+        _obs.incr("analysis.incremental.fallback")
+        return check_proc(proc, solver)
+    scope = RecheckScope(proc, fwd.touched, fwd.ctx_dirty)
+    with _obs.span("analysis.incremental"):
+        bounds_check(proc, solver, scope=scope)
+        assert_check(proc, solver, scope=scope)
+        from ..analysis.parallel import check_par_loops
+
+        check_par_loops(proc, scope=scope)

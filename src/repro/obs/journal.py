@@ -37,6 +37,20 @@ VERDICT_UNCHECKED = "unchecked"  # checks globally disabled (set_check_mode)
 
 
 @dataclass(frozen=True)
+class PathRef:
+    """A journal-stable stand-in for a cursor argument: the statement path
+    (and block length / expression path) the cursor had resolved to when
+    the directive ran.  Pattern-string directives journal their strings
+    unchanged, so pre-cursor journals replay byte-identically; cursor
+    directives journal PathRefs, which the directive target resolution
+    accepts directly — replay stays exact either way."""
+
+    path: tuple
+    count: int = 1
+    expr_path: Optional[tuple] = None
+
+
+@dataclass(frozen=True)
 class RewriteRecord:
     """One applied scheduling directive."""
 
@@ -57,8 +71,16 @@ def _short(v, limit: int = 40) -> str:
     return s if len(s) <= limit else s[: limit - 3] + "..."
 
 
-def make_record(op: str, args: tuple, kwargs: dict, verdict: str) -> RewriteRecord:
-    """Build a record, sniffing the match pattern from the first str arg."""
+def make_record(op: str, args: tuple, kwargs: dict, verdict: str,
+                resolve=None) -> RewriteRecord:
+    """Build a record, sniffing the match pattern from the first str arg.
+
+    ``resolve`` (supplied by the directive layer) maps live cursor
+    arguments to serializable :class:`PathRef` stand-ins; other arguments
+    pass through by reference."""
+    if resolve is not None:
+        args = tuple(resolve(a) for a in args)
+        kwargs = {k: resolve(v) for k, v in kwargs.items()}
     pattern = next((a for a in args if isinstance(a, str) and ("_" in a or " " in a)), None)
     return RewriteRecord(
         op=op,

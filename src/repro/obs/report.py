@@ -107,6 +107,18 @@ def absint_fastpath(counters: dict) -> dict:
     return out
 
 
+def incremental_recheck(counters: dict) -> dict:
+    """Incremental re-checking totals from the ``analysis.incremental.*``
+    counters: ``{reused, rechecked, fallback}``, empty when incremental
+    re-checking never ran."""
+    out = {}
+    for event in ("reused", "rechecked", "fallback"):
+        n = counters.get(f"analysis.incremental.{event}", 0)
+        if n:
+            out[event] = n
+    return out
+
+
 def compile_profile() -> str:
     """A human-readable per-compile profile (phase, span, and SMT tables)."""
     prof = profile_dict()
@@ -155,6 +167,16 @@ def compile_profile() -> str:
         out.append(table("Interval fast path (absint)",
                          ["category", "tried", "discharged", "fell through",
                           "rate"], fp_rows))
+
+    inc = incremental_recheck(prof["counters"])
+    if inc:
+        sites = inc.get("reused", 0) + inc.get("rechecked", 0)
+        inc_rows = [
+            (ev, n, f"{100.0 * n / (sites or 1):.0f}%" if ev != "fallback" else "-")
+            for ev, n in sorted(inc.items())
+        ]
+        out.append(table("Incremental re-checking",
+                         ["event", "count", "share of sites"], inc_rows))
 
     parallelism = prof.get("parallelism")
     if parallelism:

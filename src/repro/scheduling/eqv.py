@@ -11,6 +11,8 @@ context condition then validates at the call site.
 
 from __future__ import annotations
 
+from ..core import ast as IR
+from ..core import types as T
 from ..core.prelude import SchedulingError
 
 
@@ -61,3 +63,135 @@ def eqv_pollution(a: EqvNode, b: EqvNode) -> frozenset:
     for n in ancestors_a[: ids_a[id(node)]]:
         pollution |= n.pollution
     return frozenset(pollution)
+
+
+# ---------------------------------------------------------------------------
+# Alpha-equivalence: structural equality modulo binder renaming
+# ---------------------------------------------------------------------------
+#
+# The forwarding law for every scheduling primitive is stated in terms of
+# alpha-equivalence: forwarding a pre-rewrite cursor through the rewrite's
+# Forwarder must land on a statement alpha-equivalent to the one the cursor
+# referred to (unless the rewrite deliberately destroyed it, in which case
+# forwarding raises).  Binders are For iterators, Alloc names, and
+# WindowStmt names; Call targets compare by identity.
+
+
+def _alpha_expr(a, b, env: dict) -> bool:
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, IR.Read):
+        return env.get(a.name, a.name) == b.name and _alpha_all(
+            a.idx, b.idx, env
+        )
+    if isinstance(a, IR.Const):
+        return a.val == b.val
+    if isinstance(a, IR.USub):
+        return _alpha_expr(a.arg, b.arg, env)
+    if isinstance(a, IR.BinOp):
+        return (
+            a.op == b.op
+            and _alpha_expr(a.lhs, b.lhs, env)
+            and _alpha_expr(a.rhs, b.rhs, env)
+        )
+    if isinstance(a, IR.Extern):
+        return a.f is b.f and _alpha_all(a.args, b.args, env)
+    if isinstance(a, IR.WindowExpr):
+        if env.get(a.name, a.name) != b.name or len(a.idx) != len(b.idx):
+            return False
+        for wa, wb in zip(a.idx, b.idx):
+            if type(wa) is not type(wb):
+                return False
+            if isinstance(wa, IR.Interval):
+                if not (
+                    _alpha_expr(wa.lo, wb.lo, env)
+                    and _alpha_expr(wa.hi, wb.hi, env)
+                ):
+                    return False
+            elif not _alpha_expr(wa.pt, wb.pt, env):
+                return False
+        return True
+    if isinstance(a, IR.StrideExpr):
+        return env.get(a.name, a.name) == b.name and a.dim == b.dim
+    if isinstance(a, IR.ReadConfig):
+        return a.config is b.config and a.field == b.field
+    raise TypeError(f"alpha_equiv: unknown expression {type(a).__name__}")
+
+
+def _alpha_all(aa, bb, env: dict) -> bool:
+    return len(aa) == len(bb) and all(
+        _alpha_expr(a, b, env) for a, b in zip(aa, bb)
+    )
+
+
+def _alpha_type(a, b, env: dict) -> bool:
+    if isinstance(a, T.Tensor) and isinstance(b, T.Tensor):
+        return (
+            type(a.type) is type(b.type)
+            and a.is_window == b.is_window
+            and _alpha_all(a.hi, b.hi, env)
+        )
+    return type(a) is type(b)
+
+
+def _alpha_stmt(a, b, env: dict) -> bool:
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, (IR.Assign, IR.Reduce)):
+        return (
+            env.get(a.name, a.name) == b.name
+            and _alpha_all(a.idx, b.idx, env)
+            and _alpha_expr(a.rhs, b.rhs, env)
+        )
+    if isinstance(a, IR.WriteConfig):
+        return (
+            a.config is b.config
+            and a.field == b.field
+            and _alpha_expr(a.rhs, b.rhs, env)
+        )
+    if isinstance(a, IR.Pass):
+        return True
+    if isinstance(a, IR.If):
+        return (
+            _alpha_expr(a.cond, b.cond, env)
+            and alpha_equiv_stmts(a.body, b.body, env)
+            and alpha_equiv_stmts(a.orelse, b.orelse, env)
+        )
+    if isinstance(a, IR.For):
+        if a.kind != b.kind or not (
+            _alpha_expr(a.lo, b.lo, env) and _alpha_expr(a.hi, b.hi, env)
+        ):
+            return False
+        inner = dict(env)
+        inner[a.iter] = b.iter
+        return alpha_equiv_stmts(a.body, b.body, inner)
+    if isinstance(a, IR.Alloc):
+        if not _alpha_type(a.type, b.type, env) or a.mem is not b.mem:
+            return False
+        env[a.name] = b.name
+        return True
+    if isinstance(a, IR.Call):
+        return a.proc is b.proc and _alpha_all(a.args, b.args, env)
+    if isinstance(a, IR.WindowStmt):
+        if not _alpha_expr(a.rhs, b.rhs, env):
+            return False
+        env[a.name] = b.name
+        return True
+    raise TypeError(f"alpha_equiv: unknown statement {type(a).__name__}")
+
+
+def alpha_equiv_stmts(aa, bb, env: dict | None = None) -> bool:
+    """True iff the two statement sequences are structurally equal modulo
+    renaming of the binders they introduce (``env`` maps a-Syms to b-Syms
+    for binders already in scope)."""
+    env = {} if env is None else env
+    if len(aa) != len(bb):
+        return False
+    return all(_alpha_stmt(a, b, env) for a, b in zip(aa, bb))
+
+
+def alpha_equiv(a, b) -> bool:
+    """Alpha-equivalence of two statements (or statement sequences)."""
+    aa = a if isinstance(a, (tuple, list)) else (a,)
+    bb = b if isinstance(b, (tuple, list)) else (b,)
+    return alpha_equiv_stmts(tuple(aa), tuple(bb))

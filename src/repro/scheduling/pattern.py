@@ -29,6 +29,8 @@ class StmtMatch:
 
     path: tuple
     count: int
+    #: the pattern string this match came from (for diagnostics), if any
+    origin: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -41,14 +43,32 @@ class ExprMatch:
 
 
 def split_index(pattern: str) -> Tuple[str, Optional[int]]:
-    """Split a trailing ``#n`` match-index off a pattern string."""
+    """Split a trailing ``#n`` match-index off a pattern string.
+
+    Malformed suffixes (``_#x``, ``_#-1``, a bare trailing ``#``) are
+    rejected outright — silently treating them as part of the pattern used
+    to send users chasing bogus "no match" errors."""
     pattern = pattern.strip()
-    if "#" in pattern:
-        body, _, idx = pattern.rpartition("#")
-        idx = idx.strip()
-        if idx.isdigit():
-            return body.strip(), int(idx)
-    return pattern, None
+    if "#" not in pattern:
+        return pattern, None
+    body, _, idx = pattern.rpartition("#")
+    body = body.strip()
+    idx = idx.strip()
+    if not body:
+        raise SchedulingError(
+            f"pattern {pattern!r}: nothing precedes the '#' match index"
+        )
+    if idx and idx[0] == "-" and idx[1:].isdigit():
+        raise SchedulingError(
+            f"pattern {pattern!r}: negative match index #{idx} is not "
+            f"allowed (indices count matches from 0, in program order)"
+        )
+    if not idx.isdigit():
+        raise SchedulingError(
+            f"pattern {pattern!r}: malformed match index {'#' + idx!r} "
+            f"(expected '#<n>' with a non-negative integer n)"
+        )
+    return body, int(idx)
 
 
 def _parse_pattern(pattern: str):
@@ -230,8 +250,13 @@ def _iter_positions(proc: IR.Proc):
     yield from go((("body", None),), proc.body)
 
 
-def find_stmt(proc: IR.Proc, pattern: str, index: Optional[int] = None):
-    """All statement matches of ``pattern``, or the ``#index``-th one."""
+def find_stmt(proc: IR.Proc, pattern: str, index: Optional[int] = None,
+              one: bool = False):
+    """All statement matches of ``pattern``, or the ``#index``-th one.
+
+    With ``one=True`` an un-indexed pattern matching more than once is
+    *ambiguous*: a :class:`SchedulingError` lists every candidate with its
+    source location, instead of silently taking the first."""
     parsed, pat_index = _parse_pattern(pattern)
     if index is None:
         index = pat_index
@@ -242,21 +267,22 @@ def find_stmt(proc: IR.Proc, pattern: str, index: Optional[int] = None):
         for path, block, i in _iter_positions(proc):
             s = block[i]
             if isinstance(s, IR.Alloc) and str(s.name) == name:
-                matches.append(StmtMatch(path, 1))
+                matches.append(StmtMatch(path, 1, origin=pattern))
     elif kind == "stmts":
         pats = list(payload)
         for path, block, i in _iter_positions(proc):
             n = _match_block(pats, list(block[i:]))
             if n is not None and n > 0:
-                matches.append(StmtMatch(path, n))
+                matches.append(StmtMatch(path, n, origin=pattern))
     else:
         raise SchedulingError(
             f"pattern {pattern!r} is an expression; a statement was expected"
         )
-    return _select(matches, pattern, index)
+    return _select(proc, matches, pattern, index, one, parsed=parsed)
 
 
-def find_expr(proc: IR.Proc, pattern: str, index: Optional[int] = None):
+def find_expr(proc: IR.Proc, pattern: str, index: Optional[int] = None,
+              one: bool = False):
     """All expression matches of ``pattern``, or the ``#index``-th one."""
     parsed, pat_index = _parse_pattern(pattern)
     if index is None:
@@ -278,12 +304,52 @@ def find_expr(proc: IR.Proc, pattern: str, index: Optional[int] = None):
     for path, block, i in _iter_positions(proc):
         for step, e in _stmt_expr_slots(block[i]):
             search_expr(e, path, (step,))
-    return _select(matches, pattern, index)
+    return _select(proc, matches, pattern, index, one)
 
 
-def _select(matches, pattern, index):
+def _describe_match(proc, m, k) -> str:
+    """One candidate line for an ambiguity error: index, srcinfo, code."""
+    from ..core.pprint import expr_to_str, stmt_to_lines
+
+    if isinstance(m, ExprMatch):
+        return f"  #{k}: {m.expr.srcinfo}: {expr_to_str(m.expr)}"
+    s = IR.get_stmt(proc, m.path)
+    first = stmt_to_lines(s, 0)[0]
+    return f"  #{k}: {s.srcinfo}: {first}"
+
+
+def _nearby_candidates(proc, parsed) -> list:
+    """Statements of the same constructor as the pattern's head — what the
+    user *might* have meant when a pattern matched nothing."""
+    kind, payload = parsed
+    if kind == "alloc":
+        want = (IR.Alloc,)
+    elif kind == "stmts":
+        head = next((p for p in payload if p is not HOLE), None)
+        if head is None:
+            return []
+        want = (type(head),)
+    else:
+        return []
+    out = []
+    for path, block, i in _iter_positions(proc):
+        if isinstance(block[i], want):
+            out.append(StmtMatch(path, 1))
+    return out
+
+
+def _select(proc, matches, pattern, index, one=False, parsed=None):
     if not matches:
-        raise SchedulingError(f"no match for pattern {pattern!r}")
+        msg = f"no match for pattern {pattern!r}"
+        near = _nearby_candidates(proc, parsed) if parsed is not None else []
+        if near:
+            lines = [_describe_match(proc, m, k)
+                     for k, m in enumerate(near[:8])]
+            if len(near) > 8:
+                lines.append(f"  ... and {len(near) - 8} more")
+            msg += ("; statements of the same kind in "
+                    f"{proc.name!r}:\n" + "\n".join(lines))
+        raise SchedulingError(msg)
     if index is not None:
         if index >= len(matches):
             raise SchedulingError(
@@ -291,6 +357,12 @@ def _select(matches, pattern, index):
                 f"#{index} requested"
             )
         return [matches[index]]
+    if one and len(matches) > 1:
+        lines = [_describe_match(proc, m, k) for k, m in enumerate(matches)]
+        raise SchedulingError(
+            f"pattern {pattern!r} is ambiguous ({len(matches)} matches); "
+            f"disambiguate with '#n':\n" + "\n".join(lines)
+        )
     return matches
 
 

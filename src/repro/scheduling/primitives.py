@@ -2,13 +2,20 @@
 
 Every operator is an independent rewrite ``proc -> proc'`` paired with its
 own safety condition (checked through :mod:`repro.effects.api`).  Operators
-return ``(new_proc, polluted_fields)``: a non-empty pollution set records
-that the result is equivalent to the input only *modulo* those config
-fields (Definition 4.2), which the provenance system tracks.
+return ``(new_proc, polluted_fields, forwarder)``: a non-empty pollution
+set records that the result is equivalent to the input only *modulo* those
+config fields (Definition 4.2), which the provenance system tracks; the
+:class:`~repro.scheduling.cursors.Forwarder` maps pre-rewrite statement
+paths to post-rewrite paths (Exo 2 cursor forwarding) and reports which
+paths the rewrite touched, which drives incremental re-checking.
 
-The caller (:class:`repro.api.Procedure`) re-runs type checking and the
-front-end safety checks after every rewrite, so operators here may rely on
-well-typedness of their inputs and need not re-establish expression types.
+Every operator funnels its IR surgery through the shared :func:`_splice`
+kernel (locate → rewrite → forward), so the forwarder falls out of the
+same edit that performs the rewrite.  The caller
+(:class:`repro.api.Procedure`) re-runs type checking and the front-end
+safety checks after every rewrite (incrementally, using the forwarder),
+so operators here may rely on well-typedness of their inputs and need not
+re-establish expression types.
 """
 
 from __future__ import annotations
@@ -20,16 +27,53 @@ from ..core import types as T
 from ..core.prelude import SchedulingError, Sym
 from ..effects import api as EA
 from ..effects.effects import EffectExtractor
+from .cursors import (
+    IdentityForwarder,
+    MapForwarder,
+    OverrideForwarder,
+    SpliceForwarder,
+    compose,
+    interior_identity,
+    interior_insert,
+    interior_none,
+    stmts_write_config,
+)
 from .pattern import StmtMatch, find_expr, find_stmt, get_expr, replace_expr_at
 from .simplify import simplify_expr
 
 NO_POLLUTION = frozenset()
 
 
+def _splice(proc, path, old_count, new_stmts, interior=interior_identity,
+            extra_dirty: bool = False, touched=None):
+    """The shared rewrite kernel: replace ``old_count`` statements at
+    ``path`` by ``new_stmts`` and compute the :class:`SpliceForwarder`
+    describing the edit.
+
+    ``interior`` maps region-relative paths of surviving statements (see
+    :mod:`repro.scheduling.cursors`); ``touched`` overrides the default
+    touched-set (every inserted statement); config-state dirtiness is
+    derived from both sides of the splice unless forced by
+    ``extra_dirty``."""
+    fld, idx = path[-1]
+    block = EA._block_at(proc, path)
+    old_stmts = tuple(block[idx: idx + old_count])
+    dirty = (extra_dirty or stmts_write_config(old_stmts)
+             or stmts_write_config(new_stmts))
+    new_proc = IR.replace_block(proc, path, old_count, list(new_stmts))
+    fwd = SpliceForwarder(path, old_count, len(new_stmts), interior=interior,
+                          touched=touched, ctx_dirty=dirty)
+    return new_proc, fwd
+
+
 def _the_loop(proc, match: StmtMatch, what) -> IR.For:
     s = IR.get_stmt(proc, match.path)
     if not isinstance(s, IR.For):
-        raise SchedulingError(f"{what}: pattern must match a for-loop")
+        msg = f"{what}: pattern must match a for-loop"
+        origin = getattr(match, "origin", None)
+        if origin:
+            msg += f" (offending pattern: {origin!r})"
+        raise SchedulingError(msg)
     return s
 
 
@@ -79,7 +123,11 @@ def split(proc, match: StmtMatch, quot: int, hi_name: str, lo_name: str,
             hi_sym, _c(0), IR.BinOp("/", n, _c(quot), T.index_t), (inner,),
             loop.srcinfo,
         )
-        return IR.replace_stmt(proc, match.path, [outer]), NO_POLLUTION
+        new_proc, fwd = _splice(
+            proc, match.path, 1, [outer],
+            interior=interior_insert((("body", 0),)),
+        )
+        return new_proc, NO_POLLUTION, fwd
     if tail == "guard":
         guard = IR.If(
             IR.BinOp("<", point, n, T.bool_t), body, (), loop.srcinfo
@@ -92,7 +140,11 @@ def split(proc, match: StmtMatch, quot: int, hi_name: str, lo_name: str,
             T.index_t,
         )
         outer = IR.For(hi_sym, _c(0), ceil, (inner,), loop.srcinfo)
-        return IR.replace_stmt(proc, match.path, [outer]), NO_POLLUTION
+        new_proc, fwd = _splice(
+            proc, match.path, 1, [outer],
+            interior=interior_insert((("body", 0), ("body", 0))),
+        )
+        return new_proc, NO_POLLUTION, fwd
     if tail == "cut":
         main_trips = IR.BinOp("/", n, _c(quot), T.index_t)
         inner = IR.For(lo_sym, _c(0), _c(quot), body, loop.srcinfo)
@@ -109,10 +161,14 @@ def split(proc, match: StmtMatch, quot: int, hi_name: str, lo_name: str,
         )
         tail_count = IR.BinOp("%", n, _c(quot), T.index_t)
         tail_loop = IR.For(tail_sym, _c(0), tail_count, tail_body, loop.srcinfo)
-        return (
-            IR.replace_stmt(proc, match.path, [outer, tail_loop]),
-            NO_POLLUTION,
+        # the main copy keeps the old body (one level down); the tail copy
+        # is an alpha-renamed duplicate, so old interior cursors map to the
+        # main copy
+        new_proc, fwd = _splice(
+            proc, match.path, 1, [outer, tail_loop],
+            interior=interior_insert((("body", 0),)),
         )
+        return new_proc, NO_POLLUTION, fwd
     raise SchedulingError(f"split: unknown tail strategy {tail!r}")
 
 
@@ -128,10 +184,12 @@ def parallelize(proc, match: StmtMatch):
     if getattr(loop, "kind", "seq") == "par":
         raise SchedulingError("parallelize: loop is already parallel")
     check_parallel_loop(proc, match.path, what="parallelize")
-    return (
-        IR.replace_stmt(proc, match.path, [dc_replace(loop, kind="par")]),
-        NO_POLLUTION,
+    # the statement tree is unchanged apart from the loop's kind flag, and
+    # the race check just ran on the whole loop: nothing to re-verify
+    new_proc, fwd = _splice(
+        proc, match.path, 1, [dc_replace(loop, kind="par")], touched=()
     )
+    return new_proc, NO_POLLUTION, fwd
 
 
 def reorder_loops(proc, match: StmtMatch):
@@ -143,7 +201,16 @@ def reorder_loops(proc, match: StmtMatch):
     inner = outer.body[0]
     new_inner = dc_replace(outer, body=inner.body)
     new_outer = dc_replace(inner, body=(new_inner,))
-    return IR.replace_stmt(proc, match.path, [new_outer]), NO_POLLUTION
+
+    def interior(rel):
+        if len(rel) == 1:
+            return (rel[0], ("body", 0))  # old outer -> now nested inside
+        if len(rel) == 2 and rel[1] == ("body", 0):
+            return (rel[0],)  # old inner -> now outermost
+        return rel  # the loop body keeps its two-deep position
+
+    new_proc, fwd = _splice(proc, match.path, 1, [new_outer], interior=interior)
+    return new_proc, NO_POLLUTION, fwd
 
 
 def unroll(proc, match: StmtMatch):
@@ -156,7 +223,8 @@ def unroll(proc, match: StmtMatch):
     for v in range(lo.val, hi.val):
         body = IR.subst_stmts({loop.iter: _c(v)}, loop.body)
         copies.extend(IR.alpha_rename(body))
-    return IR.replace_stmt(proc, match.path, copies), NO_POLLUTION
+    new_proc, fwd = _splice(proc, match.path, 1, copies, interior=interior_none)
+    return new_proc, NO_POLLUTION, fwd
 
 
 def partition_loop(proc, match: StmtMatch, cut: int):
@@ -178,14 +246,27 @@ def partition_loop(proc, match: StmtMatch, cut: int):
         IR.alpha_rename(IR.subst_stmts({loop.iter: _read(it2)}, loop.body)),
         loop.srcinfo,
     )
-    return IR.replace_stmt(proc, match.path, [first, second]), NO_POLLUTION
+    # the first half keeps the old loop's body; cursors map there
+    new_proc, fwd = _splice(proc, match.path, 1, [first, second])
+    return new_proc, NO_POLLUTION, fwd
 
 
 def remove_loop(proc, match: StmtMatch):
     """``for i: s`` -> ``s`` when s is idempotent and runs >= once (§5.8)."""
     loop = _the_loop(proc, match, "remove_loop")
     EA.check_remove_loop(proc, match.path)
-    return IR.replace_stmt(proc, match.path, list(loop.body)), NO_POLLUTION
+
+    def interior(rel):
+        if len(rel) == 1:
+            return None  # the loop itself is gone
+        if rel[1][0] != "body":
+            return None
+        return ((rel[0][0], rel[1][1]),) + tuple(rel[2:])  # body moves up
+
+    new_proc, fwd = _splice(
+        proc, match.path, 1, list(loop.body), interior=interior
+    )
+    return new_proc, NO_POLLUTION, fwd
 
 
 def fuse_loops(proc, match: StmtMatch):
@@ -205,9 +286,15 @@ def fuse_loops(proc, match: StmtMatch):
         IR.subst_stmts({loop2.iter: _read(loop1.iter)}, loop2.body)
     )
     fused = dc_replace(loop1, body=loop1.body + body2)
-    new_proc = IR.replace_block(proc, match.path, 2, [fused])
+
+    def interior(rel):
+        if rel[0][1] == 0:
+            return rel  # loop1 (and its body prefix) keeps its slots
+        return None  # loop2 was merged away (its body alpha-renamed)
+
+    new_proc, fwd = _splice(proc, match.path, 2, [fused], interior=interior)
     EA.check_fission(new_proc, match.path, len(loop1.body), what="fuse_loop")
-    return new_proc, NO_POLLUTION
+    return new_proc, NO_POLLUTION, fwd
 
 
 def fission_after(proc, match: StmtMatch, n_lifts: int = 1):
@@ -215,6 +302,7 @@ def fission_after(proc, match: StmtMatch, n_lifts: int = 1):
     path = list(match.path)
     end_idx = path[-1][1] + match.count - 1
     path[-1] = (path[-1][0], end_idx)
+    fwds = []
     for _ in range(n_lifts):
         if len(path) < 2:
             raise SchedulingError("fission_after: no enclosing loop to fission")
@@ -248,9 +336,27 @@ def fission_after(proc, match: StmtMatch, n_lifts: int = 1):
         )
         first = dc_replace(loop, body=pre)
         second = IR.For(it2, loop.lo, loop.hi, post, loop.srcinfo)
-        proc = IR.replace_stmt(proc, loop_path, [first, second])
+
+        def interior(rel, _k=split_idx):
+            if len(rel) == 1:
+                return rel  # the loop -> the first (pre) loop
+            if rel[1][0] != "body":
+                return rel
+            j = rel[1][1]
+            if j < _k:
+                return rel  # pre statements stay under the first loop
+            # post statements move into the second loop (alpha-renamed
+            # copies, still structurally the same statements)
+            return (
+                (rel[0][0], rel[0][1] + 1), ("body", j - _k)
+            ) + tuple(rel[2:])
+
+        proc, fwd = _splice(
+            proc, loop_path, 1, [first, second], interior=interior
+        )
+        fwds.append(fwd)
         path = list(loop_path)
-    return proc, NO_POLLUTION
+    return proc, NO_POLLUTION, compose(*fwds)
 
 
 def lift_if(proc, match: StmtMatch):
@@ -277,7 +383,22 @@ def lift_if(proc, match: StmtMatch):
             ),
         )
     lifted = IR.If(guard.cond, (new_then,), new_else, guard.srcinfo)
-    return IR.replace_stmt(proc, match.path, [lifted]), NO_POLLUTION
+
+    def interior(rel):
+        if len(rel) == 1:
+            return (rel[0], ("body", 0))  # the loop -> the then-branch loop
+        if rel[1] != ("body", 0):
+            return None
+        rest = tuple(rel[2:])
+        if not rest:
+            return (rel[0],)  # the guard -> the lifted if
+        f2, j2 = rest[0]
+        if f2 == "body":
+            return (rel[0], ("body", 0), ("body", j2)) + rest[1:]
+        return (rel[0], ("orelse", 0), ("body", j2)) + rest[1:]
+
+    new_proc, fwd = _splice(proc, match.path, 1, [lifted], interior=interior)
+    return new_proc, NO_POLLUTION, fwd
 
 
 def add_guard(proc, match: StmtMatch, cond: IR.Expr):
@@ -287,10 +408,14 @@ def add_guard(proc, match: StmtMatch, cond: IR.Expr):
     idx = match.path[-1][1]
     stmts = list(block[idx : idx + match.count])
     guard = IR.If(cond, tuple(stmts), (), stmts[0].srcinfo)
-    return (
-        IR.replace_block(proc, match.path, match.count, [guard]),
-        NO_POLLUTION,
+
+    def interior(rel):
+        return ((rel[0][0], 0), ("body", rel[0][1])) + tuple(rel[1:])
+
+    new_proc, fwd = _splice(
+        proc, match.path, match.count, [guard], interior=interior
     )
+    return new_proc, NO_POLLUTION, fwd
 
 
 # ---------------------------------------------------------------------------
@@ -307,10 +432,17 @@ def reorder_stmts(proc, match: StmtMatch):
     EA.check_reorder_stmts(proc, match.path, match.count, 1)
     stmts = list(block[idx : idx + match.count])
     nxt = block[idx + match.count]
-    return (
-        IR.replace_block(proc, match.path, match.count + 1, [nxt] + stmts),
-        NO_POLLUTION,
+
+    def interior(rel, _n=match.count):
+        fld, j = rel[0]
+        if j < _n:
+            return ((fld, j + 1),) + tuple(rel[1:])  # block slides right
+        return ((fld, 0),) + tuple(rel[1:])  # the follower moves to front
+
+    new_proc, fwd = _splice(
+        proc, match.path, match.count + 1, [nxt] + stmts, interior=interior
     )
+    return new_proc, NO_POLLUTION, fwd
 
 
 def lift_alloc(proc, match: StmtMatch, n_lifts: int = 1):
@@ -319,6 +451,7 @@ def lift_alloc(proc, match: StmtMatch, n_lifts: int = 1):
     if not isinstance(alloc, IR.Alloc):
         raise SchedulingError("lift_alloc: pattern must match an allocation")
     path = list(match.path)
+    fwds = []
     for _ in range(n_lifts):
         if len(path) < 2:
             raise SchedulingError("lift_alloc: no enclosing statement to lift out of")
@@ -331,15 +464,23 @@ def lift_alloc(proc, match: StmtMatch, n_lifts: int = 1):
                     raise SchedulingError(
                         "lift_alloc: allocation size depends on the loop iterator"
                     )
-        proc = IR.replace_stmt(proc, tuple(path), [])
-        proc = _insert_before(proc, parent_path, [alloc])
+        proc, removal = _splice(proc, tuple(path), 1, [], interior=None)
+        target = IR.get_stmt(proc, parent_path)
+        # re-insert ahead of the parent; only the moved alloc is "touched"
+        # (hoisting a binding cannot invalidate obligations under the
+        # parent, whose own subtree merely shifts one slot right)
+        proc, insertion = _splice(
+            proc, parent_path, 1, [alloc, target],
+            interior=lambda rel: ((rel[0][0], rel[0][1] + 1),) + tuple(rel[1:]),
+            touched=(parent_path,),
+        )
+        fwds.append(
+            OverrideForwarder(
+                compose(removal, insertion), {tuple(path): parent_path}
+            )
+        )
         path = list(parent_path)
-    return proc, NO_POLLUTION
-
-
-def _insert_before(proc, path, stmts):
-    target = IR.get_stmt(proc, path)
-    return IR.replace_stmt(proc, path, list(stmts) + [target])
+    return proc, NO_POLLUTION, compose(*fwds)
 
 
 def expand_dim(proc, match: StmtMatch, extent: IR.Expr, index: IR.Expr):
@@ -412,30 +553,47 @@ def expand_dim(proc, match: StmtMatch, extent: IR.Expr, index: IR.Expr):
     idx0 = match.path[-1][1]
     rest = fix_block(block[idx0 + 1 :])
     new_stmts = [new_alloc] + list(rest)
-    return (
-        IR.replace_block(proc, match.path, len(block) - idx0, new_stmts),
-        NO_POLLUTION,
+    # same statement skeleton, but every access to the buffer gained an
+    # index: the whole region is touched (the default), positions are stable
+    new_proc, fwd = _splice(
+        proc, match.path, len(block) - idx0, new_stmts
     )
+    return new_proc, NO_POLLUTION, fwd
 
 
 def delete_pass(proc):
-    """Remove all Pass statements (keeping bodies non-empty)."""
+    """Remove all Pass statements (keeping bodies non-empty).
 
-    def clean(block):
+    A whole-proc cleanup rather than a single splice, so its forwarding is
+    an explicit old-path -> new-path map recorded during the sweep.
+    Deleting ``pass`` invalidates nothing: the touched set is empty."""
+    mapping = {}
+
+    def clean(block, fld, oldp, newp):
         out = []
-        for s in block:
+        for i, s in enumerate(block):
+            old = oldp + ((fld, i),)
             if isinstance(s, IR.Pass):
+                mapping[old] = None
                 continue
+            new = newp + ((fld, len(out)),)
             if isinstance(s, IR.If):
-                s = dc_replace(s, body=clean(s.body) or (IR.Pass(),),
-                               orelse=clean(s.orelse))
+                s = dc_replace(
+                    s,
+                    body=clean(s.body, "body", old, new) or (IR.Pass(),),
+                    orelse=clean(s.orelse, "orelse", old, new),
+                )
             elif isinstance(s, IR.For):
-                s = dc_replace(s, body=clean(s.body) or (IR.Pass(),))
+                s = dc_replace(
+                    s, body=clean(s.body, "body", old, new) or (IR.Pass(),)
+                )
+            mapping[old] = new
             out.append(s)
         return tuple(out)
 
-    body = clean(proc.body) or (IR.Pass(),)
-    return dc_replace(proc, body=body), NO_POLLUTION
+    body = clean(proc.body, "body", (), ()) or (IR.Pass(),)
+    fwd = MapForwarder(mapping, touched=(), ctx_dirty=False)
+    return dc_replace(proc, body=body), NO_POLLUTION, fwd
 
 
 # ---------------------------------------------------------------------------
@@ -443,14 +601,26 @@ def delete_pass(proc):
 # ---------------------------------------------------------------------------
 
 
+def _find_alloc(proc, name: str):
+    """Locate the allocation of ``name`` via the pattern machinery (the
+    same search every other primitive's targets go through), or None when
+    ``name`` is not an allocation (it may still be an argument)."""
+    try:
+        return find_stmt(proc, f"{name} : _")[0]
+    except SchedulingError:
+        return None
+
+
 def set_memory(proc, name: str, mem):
     """Change the memory annotation of an allocation or argument."""
-    for prefix_path, s in _walk_with_paths(proc):
-        if isinstance(s, IR.Alloc) and str(s.name) == name:
-            return (
-                IR.replace_stmt(proc, prefix_path, [dc_replace(s, mem=mem)]),
-                NO_POLLUTION,
-            )
+    m = _find_alloc(proc, name) if name.isidentifier() else None
+    if m is not None:
+        s = IR.get_stmt(proc, m.path)
+        # annotations don't enter any proof obligation: nothing to recheck
+        new_proc, fwd = _splice(
+            proc, m.path, 1, [dc_replace(s, mem=mem)], touched=()
+        )
+        return new_proc, NO_POLLUTION, fwd
     new_args = []
     hit = False
     for a in proc.args:
@@ -460,7 +630,7 @@ def set_memory(proc, name: str, mem):
         new_args.append(a)
     if not hit:
         raise SchedulingError(f"set_memory: no allocation or argument {name!r}")
-    return dc_replace(proc, args=tuple(new_args)), NO_POLLUTION
+    return dc_replace(proc, args=tuple(new_args)), NO_POLLUTION, IdentityForwarder()
 
 
 def set_precision(proc, name: str, typ: T.Type):
@@ -473,14 +643,13 @@ def set_precision(proc, name: str, typ: T.Type):
             return T.Tensor(typ, t.hi, t.is_win())
         return typ
 
-    for prefix_path, s in _walk_with_paths(proc):
-        if isinstance(s, IR.Alloc) and str(s.name) == name:
-            return (
-                IR.replace_stmt(
-                    proc, prefix_path, [dc_replace(s, type=retype(s.type))]
-                ),
-                NO_POLLUTION,
-            )
+    m = _find_alloc(proc, name) if name.isidentifier() else None
+    if m is not None:
+        s = IR.get_stmt(proc, m.path)
+        new_proc, fwd = _splice(
+            proc, m.path, 1, [dc_replace(s, type=retype(s.type))]
+        )
+        return new_proc, NO_POLLUTION, fwd
     new_args = []
     hit = False
     for a in proc.args:
@@ -490,18 +659,7 @@ def set_precision(proc, name: str, typ: T.Type):
         new_args.append(a)
     if not hit:
         raise SchedulingError(f"set_precision: no allocation or argument {name!r}")
-    return dc_replace(proc, args=tuple(new_args)), NO_POLLUTION
-
-
-def _walk_with_paths(proc):
-    def go(prefix, block):
-        for i, s in enumerate(block):
-            here = prefix[:-1] + ((prefix[-1][0], i),)
-            yield here, s
-            for fld, sub in IR.sub_bodies(s):
-                yield from go(here + ((fld, None),), sub)
-
-    yield from go((("body", None),), proc.body)
+    return dc_replace(proc, args=tuple(new_args)), NO_POLLUTION, IdentityForwarder()
 
 
 def bind_expr(proc, matches, new_name: str):
@@ -522,10 +680,11 @@ def bind_expr(proc, matches, new_name: str):
         stmt = replace_expr_at(stmt, m.expr_path, IR.Read(sym, (), expr.type))
     alloc = IR.Alloc(sym, expr.type, None, expr.srcinfo)
     assign = IR.Assign(sym, (), expr, expr.srcinfo)
-    return (
-        IR.replace_stmt(proc, stmt_path, [alloc, assign, stmt]),
-        NO_POLLUTION,
+    new_proc, fwd = _splice(
+        proc, stmt_path, 1, [alloc, assign, stmt],
+        interior=lambda rel: ((rel[0][0], 2),) + tuple(rel[1:]),
     )
+    return new_proc, NO_POLLUTION, fwd
 
 
 def bind_config(proc, match, config, field: str):
@@ -540,10 +699,11 @@ def bind_config(proc, match, config, field: str):
         stmt, match.expr_path, IR.ReadConfig(config, field, ftyp, expr.srcinfo)
     )
     wc = IR.WriteConfig(config, field, expr, expr.srcinfo)
-    return (
-        IR.replace_stmt(proc, match.path, [wc, stmt]),
-        frozenset([_csym(config, field)]),
+    new_proc, fwd = _splice(
+        proc, match.path, 1, [wc, stmt],
+        interior=lambda rel: ((rel[0][0], 1),) + tuple(rel[1:]),
     )
+    return new_proc, frozenset([_csym(config, field)]), fwd
 
 
 def _csym(config, field):
@@ -564,19 +724,17 @@ def configwrite_after(proc, match: StmtMatch, config, field: str, rhs: IR.Expr):
     block = EA._block_at(proc, match.path)
     idx = match.path[-1][1]
     stmts = list(block[idx : idx + match.count]) + [wc]
-    return (
-        IR.replace_block(proc, match.path, match.count, stmts),
-        frozenset([_csym(config, field)]),
-    )
+    new_proc, fwd = _splice(proc, match.path, match.count, stmts)
+    return new_proc, frozenset([_csym(config, field)]), fwd
 
 
 def configwrite_root(proc, config, field: str, rhs: IR.Expr):
     """Insert ``config.field = e`` at the start of the procedure."""
     wc = IR.WriteConfig(config, field, rhs, proc.srcinfo)
-    new_proc = dc_replace(proc, body=(wc,) + proc.body)
+    new_proc, fwd = _splice(proc, (("body", 0),), 0, [wc])
     # the *original* body is the post-context of the inserted write
     EA.check_config_pollution(new_proc, (("body", 0),), [_csym(config, field)])
-    return new_proc, frozenset([_csym(config, field)])
+    return new_proc, frozenset([_csym(config, field)]), fwd
 
 
 # ---------------------------------------------------------------------------
@@ -675,13 +833,15 @@ def stage_mem(proc, match: StmtMatch, window: IR.WindowExpr, new_name: str,
     stmts = [alloc]
     if reads or (writes and not _covers(ctx, eff, buf, rank, box)) or init_zero:
         stmts.append(copy_loops(store=False))
+    off = len(stmts)  # alloc + optional copy-in precede the block
     stmts.extend(new_block)
     if writes:
         stmts.append(copy_loops(store=True))
-    return (
-        IR.replace_block(proc, match.path, match.count, stmts),
-        NO_POLLUTION,
+    new_proc, fwd = _splice(
+        proc, match.path, match.count, stmts,
+        interior=lambda rel: ((rel[0][0], rel[0][1] + off),) + tuple(rel[1:]),
     )
+    return new_proc, NO_POLLUTION, fwd
 
 
 def _succ(t):
@@ -990,7 +1150,10 @@ def inline_call(proc, match: StmtMatch):
     for formal, wexpr in windows:
         body = _subst_buffer_window(body, formal, wexpr)
     body = IR.alpha_rename(body)
-    return IR.replace_stmt(proc, match.path, list(body)), NO_POLLUTION
+    new_proc, fwd = _splice(
+        proc, match.path, 1, list(body), interior=interior_none
+    )
+    return new_proc, NO_POLLUTION, fwd
 
 
 def call_eqv(proc, match: StmtMatch, new_callee: IR.Proc, pollution: frozenset):
@@ -1006,7 +1169,8 @@ def call_eqv(proc, match: StmtMatch, new_callee: IR.Proc, pollution: frozenset):
         raise SchedulingError("call_eqv: procedures have different signatures")
     EA.check_config_pollution(proc, match.path, pollution)
     new_call = dc_replace(call, proc=new_callee)
-    return IR.replace_stmt(proc, match.path, [new_call]), pollution
+    new_proc, fwd = _splice(proc, match.path, 1, [new_call])
+    return new_proc, pollution, fwd
 
 
 # ---------------------------------------------------------------------------

@@ -251,3 +251,33 @@ def _simplify_arg(e: IR.Expr) -> IR.Expr:
 
 def simplify_proc(proc: IR.Proc) -> IR.Proc:
     return dc_replace(proc, body=simplify_stmts(proc.body))
+
+
+def _same_skeleton(a_stmts, b_stmts) -> bool:
+    """Do two blocks have the same statement-tree shape (so that every
+    statement path valid in one is valid, and means the same slot, in the
+    other)?  Expression contents are free to differ."""
+    if len(a_stmts) != len(b_stmts):
+        return False
+    for a, b in zip(a_stmts, b_stmts):
+        if type(a) is not type(b):
+            return False
+        for (fa, sa), (fb, sb) in zip(IR.sub_bodies(a), IR.sub_bodies(b)):
+            if fa != fb or not _same_skeleton(sa, sb):
+                return False
+    return True
+
+
+def simplify_proc_fwd(proc: IR.Proc):
+    """Simplify and report forwarding: ``(new_proc, fwd)`` where ``fwd`` is
+    None when the statement skeleton is preserved (paths forward
+    unchanged), or an imprecise :class:`FallbackForwarder` when the
+    simplifier deleted or unwrapped statements (empty blocks, zero-trip
+    constant loops, constant conditionals) — cursor forwarding then fails
+    and re-checking falls back to the full pipeline."""
+    new = simplify_proc(proc)
+    if _same_skeleton(proc.body, new.body):
+        return new, None
+    from .cursors import FallbackForwarder
+
+    return new, FallbackForwarder("the simplifier restructured the procedure")

@@ -182,3 +182,18 @@ class TestDerivationProperties:
         SCHEDULE_OP_COUNT[0] = 0
         matmul_exo()
         assert 5 < SCHEDULE_OP_COUNT[0] < 60
+
+
+class TestCursorPortByteIdentical:
+    """The cursor-style app schedules must produce byte-identical C to
+    their original pattern-string derivations."""
+
+    def test_gemmini_matmul_exo(self):
+        from repro.apps.gemmini_matmul import matmul_exo_patterns
+
+        assert matmul_exo().c_code() == matmul_exo_patterns().c_code()
+
+    def test_x86_sgemm_exo(self):
+        from repro.apps.x86_sgemm import sgemm_exo_patterns
+
+        assert sgemm_exo().c_code() == sgemm_exo_patterns().c_code()

@@ -118,6 +118,59 @@ class TestJournal:
         assert str(again) == str(fast)
 
 
+class TestJournalCursorCompat:
+    """The cursor refactor must not disturb pattern-string journals, and
+    cursor-steered directives must journal replayable PathRefs."""
+
+    def test_pattern_string_journal_replays_byte_identically(self):
+        """A pre-refactor-style schedule — every directive steered by a
+        pattern string — journals those strings verbatim and replays to
+        byte-identical C."""
+        g = _gemm()
+        fast = (
+            g.split("for i in _: _", 4, "io", "ii", tail="perfect")
+            .reorder("for ii in _: _")
+            .bind_expr("a_ik", "A[_] * B[_]")
+        )
+        log = fast.schedule_log()
+        # the journal holds the original strings, not cursors or PathRefs
+        assert log[0].args[0] == "for i in _: _"
+        assert log[1].args[0] == "for ii in _: _"
+        assert all(
+            not isinstance(a, journal.PathRef)
+            for rec in log for a in rec.args
+        )
+        again = fast.replay_schedule()
+        assert again.c_code() == fast.c_code()
+
+    def test_cursor_directive_journals_pathref(self):
+        g = _gemm()
+        cur = g.find("for i in _: _")
+        fast = g.split(cur, 4, "io", "ii", tail="perfect")
+        (rec,) = fast.schedule_log()
+        ref = rec.args[0]
+        assert isinstance(ref, journal.PathRef)
+        assert ref.path == cur.path
+        assert ref.count == 1
+
+    def test_cursor_journal_replays_identically(self):
+        g = _gemm()
+        cur = g.find("for j in _: _")
+        fast = g.split("for i in _: _", 4, "io", "ii", tail="perfect")
+        fast = fast.split(cur, 4, "jo", "ji", tail="guard")
+        again = fast.replay_schedule()
+        assert str(again) == str(fast)
+        assert again.c_code() == fast.c_code()
+
+    def test_pathref_record_is_json_safe(self):
+        import json
+
+        g = _gemm()
+        fast = g.split(g.find("for i in _: _"), 4, "io", "ii", tail="perfect")
+        d = journal.record_to_dict(fast.schedule_log()[0])
+        assert json.loads(json.dumps(d)) == d
+
+
 class TestCompileProfile:
     def test_profile_dict_has_phase_spans(self):
         from repro.smt.solver import DEFAULT_SOLVER

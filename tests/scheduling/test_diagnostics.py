@@ -1,0 +1,105 @@
+"""Pattern-matcher diagnostics: ambiguity candidate listings, no-match
+hints, ``#n`` index hardening, and the loop-pattern error echo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SchedulingError
+from repro.api import procs_from_source
+from repro.scheduling.pattern import find_stmt, split_index
+
+HEADER = (
+    "from __future__ import annotations\n"
+    "from repro import proc, DRAM, f32, size\n"
+)
+
+
+@pytest.fixture
+def prog():
+    src = HEADER + """
+@proc
+def f(N: size, A: f32[N, N] @ DRAM):
+    for i in seq(0, N):
+        for j in seq(0, N):
+            A[i, j] = 0.0
+    for k in seq(0, N):
+        A[k, k] += 1.0
+"""
+    return procs_from_source(src)["f"]
+
+
+class TestSplitIndexHardening:
+    def test_plain_pattern_passes_through(self):
+        assert split_index("for i in _: _") == ("for i in _: _", None)
+
+    def test_valid_index(self):
+        assert split_index("for i in _: _ #2") == ("for i in _: _", 2)
+
+    def test_index_zero(self):
+        assert split_index("x = _ #0") == ("x = _", 0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(SchedulingError, match="negative match index"):
+            split_index("for i in _: _ #-1")
+
+    def test_non_integer_suffix_rejected(self):
+        with pytest.raises(SchedulingError, match="malformed match index"):
+            split_index("for i in _: _ #x")
+
+    def test_bare_hash_rejected(self):
+        with pytest.raises(SchedulingError, match="malformed match index"):
+            split_index("for i in _: _ #")
+
+    def test_hash_with_nothing_before_rejected(self):
+        with pytest.raises(SchedulingError, match="nothing precedes"):
+            split_index("#3")
+
+    def test_float_index_rejected(self):
+        # "#1.5" rpartitions at the '#', leaving a non-integer suffix
+        with pytest.raises(SchedulingError, match="malformed match index"):
+            split_index("for i in _: _ #1.5")
+
+
+class TestAmbiguityDiagnostics:
+    def test_ambiguous_pattern_lists_candidates(self, prog):
+        with pytest.raises(SchedulingError) as e:
+            find_stmt(prog.ir(), "for _ in _: _", one=True)
+        msg = str(e.value)
+        assert "is ambiguous" in msg
+        # each candidate line carries its index and source location
+        assert "#0:" in msg and "#1:" in msg
+        assert "<repro-metaprog" in msg  # srcinfo filenames
+
+    def test_ambiguous_directive_raises_through_api(self, prog):
+        with pytest.raises(SchedulingError, match="ambiguous"):
+            prog.split("for _ in _: _", 4, "io", "ii")
+
+    def test_indexed_pattern_resolves_ambiguity(self, prog):
+        p = prog.split("for _ in _: _ #2", 4, "ko", "ki", tail="guard")
+        assert "for ko in" in str(p)
+
+    def test_find_is_strict(self, prog):
+        with pytest.raises(SchedulingError, match="ambiguous"):
+            prog.find("for _ in _: _")
+
+
+class TestNoMatchDiagnostics:
+    def test_no_match_lists_same_kind_statements(self, prog):
+        with pytest.raises(SchedulingError) as e:
+            find_stmt(prog.ir(), "for zz in _: _", one=True)
+        msg = str(e.value)
+        assert "no match for pattern" in msg
+        # hints at the loops that do exist
+        assert "for i in" in msg and "for k in" in msg
+
+    def test_no_match_alloc_hint(self, prog):
+        with pytest.raises(SchedulingError, match="no match"):
+            find_stmt(prog.ir(), "t : _", one=True)
+
+    def test_the_loop_error_echoes_pattern(self, prog):
+        """Loop-expecting primitives name the offending pattern."""
+        with pytest.raises(SchedulingError) as e:
+            prog.split("A[i, j] = 0.0", 4, "io", "ii")
+        assert "offending pattern" in str(e.value)
+        assert "A[i, j] = 0.0" in str(e.value)
