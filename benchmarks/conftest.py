@@ -5,6 +5,14 @@ session end, writes ``BENCH_obs.json`` next to the figures: per-phase
 compile-time breakdown, span timings, and SMT query/cache statistics — so
 the perf trajectory across PRs is machine-readable, not just eyeballed
 from the tables.
+
+JSON artifacts go through a session-scoped registry
+(:func:`record_artifact` / :func:`flush_artifacts`): when several bench
+files contribute to the same artifact in one session, their payloads are
+**deep-merged** — nested dicts union recursively and numeric leaves under
+a ``counters`` namespace accumulate — instead of the last writer clobbering
+everyone else's namespaces.  Standalone scripts (``scripts/tune_smoke.py``)
+reuse the same machinery so CI and pytest produce identical artifacts.
 """
 
 from __future__ import annotations
@@ -19,7 +27,54 @@ from repro import obs
 from repro.machine.gemmini_sim import GemminiSim
 from repro.machine.trace import trace_kernel
 
-_OBS_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_obs.json")
+_ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "..")
+
+#: artifact file name -> accumulated payload (merged across recorders)
+_ARTIFACTS: dict = {}
+
+
+def deep_merge(dst: dict, src: dict, add_numbers: bool = False) -> dict:
+    """Recursively merge ``src`` into ``dst`` (in place, also returned).
+
+    Dicts union key-by-key; on a leaf collision, numbers are summed when
+    ``add_numbers`` (counter semantics) and otherwise the newer value
+    wins — but only at the leaf, so sibling namespaces from earlier
+    recorders survive."""
+    for k, v in src.items():
+        old = dst.get(k)
+        if isinstance(old, dict) and isinstance(v, dict):
+            deep_merge(old, v, add_numbers=add_numbers or k == "counters")
+        elif (
+            (add_numbers or k == "counters")
+            and isinstance(old, (int, float))
+            and isinstance(v, (int, float))
+            and not isinstance(old, bool)
+            and not isinstance(v, bool)
+        ):
+            dst[k] = old + v
+        else:
+            dst[k] = v
+    return dst
+
+
+def record_artifact(name: str, data: dict):
+    """Contribute ``data`` to the JSON artifact ``name`` (e.g.
+    ``"BENCH_tune.json"``).  Multiple contributions merge; the file is
+    written once, at session end (or by :func:`flush_artifacts`)."""
+    root = _ARTIFACTS.setdefault(name, {})
+    deep_merge(root, data)
+
+
+def flush_artifacts() -> list:
+    """Write every recorded artifact next to the figures; returns paths."""
+    paths = []
+    for name, payload in sorted(_ARTIFACTS.items()):
+        path = os.path.join(_ARTIFACT_DIR, name)
+        with open(path, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        paths.append(path)
+    return paths
 
 
 def pytest_configure(config):
@@ -30,9 +85,8 @@ def pytest_configure(config):
 def pytest_sessionfinish(session, exitstatus):
     data = obs.profile_dict()
     data["exit_status"] = int(exitstatus)
-    with open(_OBS_PATH, "w") as f:
-        json.dump(data, f, indent=2, sort_keys=True)
-        f.write("\n")
+    record_artifact("BENCH_obs.json", data)
+    flush_artifacts()
 
 
 @pytest.fixture(scope="session")

@@ -481,6 +481,44 @@ class Procedure:
         ir, pol, fwd = P.delete_pass(self._loopir_proc)
         return self._derive(ir, pol, fwd)
 
+    # -- autotuning ---------------------------------------------------------
+
+    def tune(self, space=None, config=None, *, choices=None, build=None,
+             **config_kwargs):
+        """Search for a schedule of this procedure (see
+        :mod:`repro.autotune`), returning the
+        :class:`~repro.autotune.search.SearchResult`.
+
+        Pass a prebuilt :class:`~repro.autotune.Space` (its ``base`` is
+        then ignored in favor of ``self``), or ``choices=[Choice(...)]``
+        + ``build=fn`` to declare a parameter space inline; with neither,
+        an action space over this procedure's loops is searched.
+        Remaining keyword arguments construct the
+        :class:`~repro.autotune.TuneConfig` (``seed=``, ``budget=``,
+        ``measure=``, ``model=``, ``sizes=``, ...).  Not a rewrite: the
+        result is a report, and winners carry their own journals.
+        """
+        from . import autotune as _at
+
+        if space is None:
+            if choices is not None or build is not None:
+                space = _at.Space(self.name(), self, choices=choices or (),
+                                  build=build)
+            else:
+                space = _at.Space.action_space(self.name(), self)
+        elif space.base is not self:
+            rebound = _at.Space(space.name, self, choices=space.choices,
+                                build=space.build,
+                                allow_unchecked=space.allow_unchecked)
+            rebound._action_kwargs = space._action_kwargs
+            rebound.depth = space.depth
+            space = rebound
+        if config is None:
+            config = _at.TuneConfig(**config_kwargs)
+        elif config_kwargs:
+            raise ValueError("pass either config= or keyword knobs, not both")
+        return _at.search(space, config)
+
 
 # ---------------------------------------------------------------------------
 # Provenance + tracing hooks for every scheduling directive

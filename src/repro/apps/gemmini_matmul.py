@@ -288,6 +288,58 @@ def matmul_blocked(N: size, M: size, K: size,
     return p
 
 
+# ---------------------------------------------------------------------------
+# Autotuning (repro.autotune)
+# ---------------------------------------------------------------------------
+
+
+def build_matmul_candidate(base, style: str, stage: bool):
+    """Derive one Fig-4a candidate: always 16x16x16 tiling, then one of
+
+    * ``scalar``  — no accelerator instructions (CPU fallback),
+    * ``fused``   — Old-lib style: config+mvin fused, a pipeline flush on
+      every DMA transfer,
+    * ``hoisted`` — Exo-lib style: configs written once at kernel top,
+      split (assert-carrying) instructions selected.
+
+    ``fused``/``hoisted`` without staging fail instruction selection (the
+    DMA loops to replace do not exist), so those points are pruned by the
+    checks rather than emitted broken.
+    """
+    p = _tile(base)
+    if stage:
+        p = _stage(p)
+    if style == "scalar":
+        return p
+    if style == "hoisted":
+        p = _hoist_configs(p)
+        p = _select_instrs(p, fused=False)
+    elif style == "fused":
+        p = _select_instrs(p, fused=True)
+    else:
+        raise ValueError(f"unknown style {style!r}")
+    p = _set_memories(p)
+    return p
+
+
+def matmul_space():
+    """The Fig-4a tuning space: schedule style x tile staging.  Six points;
+    (hoisted, staged) is exactly the hand-written :func:`matmul_exo`
+    derivation, and the cost model's per-config-write pipeline-flush
+    charge is what should make the tuner prefer it over Old-lib fusion."""
+    from ..autotune import Choice, Space
+
+    return Space(
+        "gemmini_matmul_fig4a",
+        matmul_base,
+        choices=[
+            Choice("style", ("scalar", "fused", "hoisted")),
+            Choice("stage", (False, True)),
+        ],
+        build=build_matmul_candidate,
+    )
+
+
 @lru_cache(maxsize=None)
 def matmul_tiled():
     """The tiled-and-staged kernel before instruction selection (useful for

@@ -91,6 +91,42 @@ def make_microkernel(mr: int = MR, nv: int = NV):
     return algo, sched
 
 
+def _microkernel_algorithm_win(mr: int, nv: int):
+    """Like :func:`_microkernel_algorithm` but with *window* formals
+    (``[f32][...]``), so the generated C accepts the strided panels the
+    outer kernel passes after ``replace()`` — required when candidates
+    are actually compiled and run (the tuner's measured mode)."""
+    nw = nv * 16
+    src = f"""
+from __future__ import annotations
+from repro import proc, DRAM, f32, size
+
+@proc
+def ukernel_{mr}x{nw}(K: size,
+                      A: [f32][{mr}, K] @ DRAM,
+                      B: [f32][K, {nw}] @ DRAM,
+                      C: [f32][{mr}, {nw}] @ DRAM):
+    assert K >= 1
+    for k in seq(0, K):
+        for i in seq(0, {mr}):
+            for j in seq(0, {nw}):
+                C[i, j] += A[i, k] * B[k, j]
+"""
+    from ..api import procs_from_source
+
+    return procs_from_source(src)[f"ukernel_{mr}x{nw}"]
+
+
+@lru_cache(maxsize=None)
+def make_microkernel_win(mr: int = MR, nv: int = NV):
+    """Window-formal twin of :func:`make_microkernel` (same schedule)."""
+    algo = _microkernel_algorithm_win(mr, nv)
+    sched = _schedule_microkernel(
+        algo.rename(f"ukernel_{mr}x{nv * 16}_avx512"), mr, nv
+    )
+    return algo, sched
+
+
 @proc
 def sgemm_base(M: size, N: size, K: size,
                A: f32[M, K] @ DRAM,
@@ -174,3 +210,78 @@ def sgemm_exo_patterns(mr: int = MR, nv: int = NV):
 def sgemm_interpret(p: Procedure, M, N, K, A, B, C):
     """Convenience wrapper running an SGEMM procedure on numpy arrays."""
     return p.interpret(M, N, K, A, B, C)
+
+
+# ---------------------------------------------------------------------------
+# Autotuning (repro.autotune)
+# ---------------------------------------------------------------------------
+
+#: the fixed problem the tuner specializes for (literal sizes make every
+#: divisibility obligation decidable, so non-dividing tiles are *proved*
+#: illegal and pruned rather than silently mis-scheduled)
+TUNE_M, TUNE_N, TUNE_K = 192, 192, 64
+
+
+@lru_cache(maxsize=None)
+def sgemm_tune_base(M: int = TUNE_M, N: int = TUNE_N, K: int = TUNE_K):
+    """A size-literal scalar SGEMM — the algorithm the tuner schedules."""
+    src = f"""
+from __future__ import annotations
+from repro import proc, DRAM, f32, size
+
+@proc
+def sgemm_t{M}x{N}x{K}(A: f32[{M}, {K}] @ DRAM,
+                       B: f32[{K}, {N}] @ DRAM,
+                       C: f32[{M}, {N}] @ DRAM):
+    for i in seq(0, {M}):
+        for j in seq(0, {N}):
+            for k in seq(0, {K}):
+                C[i, j] += A[i, k] * B[k, j]
+"""
+    from ..api import procs_from_source
+
+    return procs_from_source(src)[f"sgemm_t{M}x{N}x{K}"]
+
+
+def build_sgemm_candidate(base: Procedure, mr: int, nv: int,
+                          vectorize: bool) -> Procedure:
+    """Derive one candidate schedule: tile by (mr, nv*16), bring k outermost
+    within the tile, and optionally swap in the AVX-512 micro-kernel.
+
+    Raises :class:`SchedulingError` when the tiling is illegal for the
+    problem size (e.g. ``tail='perfect'`` with a non-dividing ``mr``) —
+    the tuner prunes such candidates.
+    """
+    nw = nv * 16
+    p = base.split("for i in _: _", mr, "io", "ii", tail="perfect")
+    p = p.split("for j in _: _", nw, "jo", "ji", tail="perfect")
+    p = p.reorder("for ii in _: _")  # io, jo, ii, ji, k
+    p = p.reorder("for ji in _: _")  # ji <-> k
+    p = p.reorder("for ii in _: _")  # ii <-> k
+    if vectorize:
+        algo, sched = make_microkernel_win(mr, nv)
+        p = p.replace(algo, "for k in _: _")
+        p = p.call_eqv(sched, f"ukernel_{mr}x{nw}(_)")
+    return p
+
+
+def sgemm_space(M: int = TUNE_M, N: int = TUNE_N, K: int = TUNE_K):
+    """The SGEMM tuning space: register-tile shape x vectorization.
+
+    30 points; the hand-written schedule (mr=6, nv=4, vectorized) is one
+    of them, so the tuner's winner can never model worse than it.  Points
+    with non-dividing tiles (e.g. mr=5 against M=192) fail their split
+    proofs and are pruned by the safety checks.
+    """
+    from ..autotune import Choice, Space
+
+    return Space(
+        f"sgemm_{M}x{N}x{K}",
+        sgemm_tune_base(M, N, K),
+        choices=[
+            Choice("mr", (2, 3, 4, 5, 6)),
+            Choice("nv", (1, 2, 4)),
+            Choice("vectorize", (False, True)),
+        ],
+        build=build_sgemm_candidate,
+    )

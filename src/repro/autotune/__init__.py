@@ -1,0 +1,55 @@
+"""Cost-model-guided schedule search (autotuning) subsystem.
+
+The paper's premise is that schedules are *programs* over rewrite
+primitives; this package searches that program space automatically:
+
+* :mod:`.space`  — declarative parameter spaces and cursor-targeted
+  action enumeration; every candidate is built through the public
+  ``Procedure`` directives, so the existing safety checks validate each
+  rewrite and illegal schedules are pruned, never emitted.
+* :mod:`.cost`   — an analytical cost model over scheduled IR
+  (trip-count-weighted flops, per-``Memory`` traffic, accelerator-
+  instruction credit) shared with ``machine/x86_sim.py``.
+* :mod:`.search` — deterministic seeded random + beam search, with an
+  optional *measured* mode that compiles top-k candidates in a
+  crash-isolated ``multiprocessing`` pool.
+* :mod:`.tune_db` — winners persisted as provenance journals so tuned
+  schedules replay byte-identically, plus ``BENCH_tune.json`` reporting.
+"""
+
+from .cost import (
+    Cost,
+    CostBreakdown,
+    MachineModel,
+    GEMMINI_MODEL,
+    X86_MODEL,
+    X86Params,
+    cost_of,
+    model_by_name,
+    price_x86,
+)
+from .space import Action, Candidate, Choice, Space, enumerate_actions
+from .search import SearchResult, TuneConfig, search
+from .tune_db import TuneDB, tune_report
+
+__all__ = [
+    "Action",
+    "Candidate",
+    "Choice",
+    "Cost",
+    "CostBreakdown",
+    "GEMMINI_MODEL",
+    "MachineModel",
+    "SearchResult",
+    "Space",
+    "TuneConfig",
+    "TuneDB",
+    "X86_MODEL",
+    "X86Params",
+    "cost_of",
+    "enumerate_actions",
+    "model_by_name",
+    "price_x86",
+    "search",
+    "tune_report",
+]

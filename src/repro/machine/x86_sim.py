@@ -4,12 +4,18 @@ The paper's x86 evaluation ran on an Intel i7-1185G7 at 4.3 GHz: one
 512-bit FMA port (32 single-precision flops/cycle, 137.6 GFLOP/s peak), two
 load ports, one store port, 48 KB L1D / 1.25 MB L2 / 12 MB L3.
 
-The model prices a scheduled kernel from its *instruction counts* -- which
+The models price a scheduled kernel from its *instruction counts* -- which
 for a static control program are exact functions of the problem size -- and
 a footprint-based memory model: each operand panel is charged to the
 innermost cache level it fits in given the kernel's loop structure, with
 per-level bandwidth converting traffic into cycles.  Tests validate the
 count formulas against real instruction traces at small sizes.
+
+The pricing core (counts -> cycles) lives in :mod:`repro.autotune.cost`
+and is shared with the autotuner's IR-driven model; ``sgemm_cost`` /
+``conv_cost`` below only assemble the per-kernel counts and delegate to
+:func:`repro.autotune.cost.price_x86`.  ``X86Params`` / ``CostBreakdown``
+are re-exported here for backward compatibility.
 """
 
 from __future__ import annotations
@@ -18,49 +24,14 @@ import os
 import shutil
 import subprocess
 import tempfile
-from dataclasses import dataclass
 from math import ceil
 
-
-@dataclass
-class X86Params:
-    freq_ghz: float = 4.3
-    fma_ports: float = 1.0  # 512-bit FMA issue per cycle
-    load_ports: float = 2.0
-    store_ports: float = 1.0
-    l1_bytes: int = 48 * 1024
-    l2_bytes: int = 1280 * 1024
-    l3_bytes: int = 12 * 1024 * 1024
-    l2_bw: float = 64.0  # bytes/cycle
-    l3_bw: float = 30.0
-    dram_bw: float = 14.0
-    call_overhead: float = 18.0  # cycles per micro-kernel invocation
-    loop_overhead: float = 2.0  # cycles per k iteration (pointer bumps)
-
-    @property
-    def peak_gflops(self) -> float:
-        return self.freq_ghz * 32.0 * self.fma_ports
-
-
-DEFAULT = X86Params()
-
-
-@dataclass
-class CostBreakdown:
-    cycles: float
-    fma_cycles: float
-    load_cycles: float
-    store_cycles: float
-    mem_cycles: float
-    overhead_cycles: float
-    flops: float
-
-    def gflops(self, params: X86Params = DEFAULT) -> float:
-        secs = self.cycles / (params.freq_ghz * 1e9)
-        return self.flops / secs / 1e9
-
-    def pct_peak(self, params: X86Params = DEFAULT) -> float:
-        return 100.0 * self.gflops(params) / params.peak_gflops
+from ..autotune.cost import (  # noqa: F401  (re-exported API)
+    DEFAULT,
+    CostBreakdown,
+    X86Params,
+    price_x86,
+)
 
 
 def sgemm_counts(M: int, N: int, K: int, mr: int = 6, nv: int = 4):
@@ -109,10 +80,6 @@ def sgemm_cost(M: int, N: int, K: int, mr: int = 6, nv: int = 4,
     ctile_loads = ctile
     ctile_stores = ctile
 
-    fma_cycles = fma_ops / params.fma_ports
-    load_cycles = (bcast_loads + vec_loads + ctile_loads) / params.load_ports
-    store_cycles = ctile_stores / params.store_ports
-
     # memory traffic ------------------------------------------------------
     fsz = 4
     a_bytes = M * K * fsz  # A panel reused from L1 across jo
@@ -153,16 +120,15 @@ def sgemm_cost(M: int, N: int, K: int, mr: int = 6, nv: int = 4,
         + 0.35 * max(0.0, 1.0 - M / (4 * mr))
     )
 
-    core_cycles = max(fma_cycles, load_cycles, store_cycles) * narrow
-    cycles = max(core_cycles + overhead, mem_cycles)
-    return CostBreakdown(
-        cycles=cycles,
-        fma_cycles=fma_cycles,
-        load_cycles=load_cycles,
-        store_cycles=store_cycles,
+    return price_x86(
+        fma_ops=fma_ops,
+        loads=bcast_loads + vec_loads + ctile_loads,
+        stores=ctile_stores,
         mem_cycles=mem_cycles,
         overhead_cycles=overhead,
         flops=2.0 * M * N * K,
+        params=params,
+        core_scale=narrow,
     )
 
 
@@ -285,33 +251,25 @@ def conv_cost(N: int, H: int, W: int, IC: int, OC: int,
     wvec_loads = calls * red * ocv
     ctile = calls * xb * ocv
 
-    fma_cycles = fma_ops / params.fma_ports
-    load_cycles = (bcast_loads + wvec_loads + ctile) / params.load_ports
-    store_cycles = ctile / params.store_ports
-
     fsz = 4
     in_bytes = N * H * W * IC * fsz * kh  # row re-reads across ky
     w_bytes = kh * kw * IC * OC * fsz
     out_bytes = 2 * N * OH * OW * OC * fsz
     w_resident = w_bytes <= params.l2_bytes
     w_traffic = w_bytes if w_resident else w_bytes * N * OH
-    dram_cycles = (in_bytes + w_traffic + out_bytes) / params.dram_bw
-    mem_cycles = dram_cycles
+    mem_cycles = (in_bytes + w_traffic + out_bytes) / params.dram_bw
 
     # strided input access + short per-pixel reduction chains stall the FMA
     # pipe: empirically-calibrated derate reproducing the ~40 % plateau the
     # paper reports for *all three* implementations at this shape
-    derate = 2.47
-    overhead = calls * params.call_overhead
-    core = max(fma_cycles * derate, load_cycles, store_cycles)
-    cycles = max(core + overhead, mem_cycles)
-    cycles /= max(1, threads) ** 0.97  # near-linear scaling (§9)
-    return CostBreakdown(
-        cycles=cycles,
-        fma_cycles=fma_cycles,
-        load_cycles=load_cycles,
-        store_cycles=store_cycles,
+    return price_x86(
+        fma_ops=fma_ops,
+        loads=bcast_loads + wvec_loads + ctile,
+        stores=ctile,
         mem_cycles=mem_cycles,
-        overhead_cycles=overhead,
+        overhead_cycles=calls * params.call_overhead,
         flops=2.0 * calls * red * xb * ocv * 16,
+        params=params,
+        fma_derate=2.47,
+        threads=threads,
     )

@@ -69,6 +69,9 @@ def profile_dict() -> dict:
     parallelism = parallelism_coverage(counters)
     if parallelism:
         out["parallelism"] = parallelism
+    tune = autotune_summary(counters)
+    if tune:
+        out["autotune"] = tune
     return out
 
 
@@ -116,6 +119,17 @@ def incremental_recheck(counters: dict) -> dict:
         n = counters.get(f"analysis.incremental.{event}", 0)
         if n:
             out[event] = n
+    return out
+
+
+def autotune_summary(counters: dict) -> dict:
+    """Autotuner totals from the ``autotune.*`` counters — candidates
+    generated / pruned / checked / measured, cost-cache traffic, DB
+    activity — empty when no search ran this session."""
+    out = {}
+    for key, n in counters.items():
+        if key.startswith("autotune.") and n:
+            out[key.split(".", 1)[1]] = n
     return out
 
 
@@ -187,6 +201,11 @@ def compile_profile() -> str:
         ]
         out.append(table("Parallelism coverage (lint verdicts)",
                          ["verdict", "loops", "share"], par_rows))
+
+    tune = prof.get("autotune")
+    if tune:
+        out.append(table("Autotuning", ["event", "count"],
+                         sorted(tune.items())))
 
     counters = prof["counters"]
     if counters:

@@ -138,6 +138,7 @@ class SmtStats:
         "dnf_branches",
         "omega_projections",
         "omega_feasibility_checks",
+        "timeouts",
     )
 
     def __init__(self):

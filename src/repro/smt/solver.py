@@ -11,6 +11,7 @@ opaque literals.
 
 from __future__ import annotations
 
+import os
 import time
 from itertools import chain
 from typing import Iterable, List
@@ -23,6 +24,11 @@ from . import terms as S
 from .omega import DIV, EQ, GEQ, Constraint, LinExpr, feasible, project
 
 _CMP_NEG = {"==": "!=", "<=": ">", "<": ">=", ">=": "<", ">": "<="}
+
+
+class SmtTimeout(Exception):
+    """Internal signal: the per-query budget expired mid-search.  Never
+    escapes ``Solver.prove`` — it degrades to a conservative ``False``."""
 
 
 # ---------------------------------------------------------------------------
@@ -267,6 +273,10 @@ class Solver:
         self._prove_cache = {}
         self._feas_cache = {}
         self.stats = {"prove_calls": 0, "cache_hits": 0, "omega_conjuncts": 0}
+        #: per-query budget: programmatic override in milliseconds, or None
+        #: to consult $REPRO_SMT_TIMEOUT_MS at each prove() (unset/0 = off)
+        self.timeout_ms: float | None = None
+        self._deadline: float | None = None
         #: memo table keyed by the *canonical* formula hash: repeated
         #: obligations that differ only in fresh Sym names (every
         #: Commutes/Shadows query mints fresh point variables) are
@@ -297,12 +307,44 @@ class Solver:
         _SMT_STATS.cache_misses += 1
         _SMT_STATS.record_prove(current_category(), cache_hit=False)
         t0 = time.perf_counter()
-        with _obs.span("smt.prove"):
-            result = not self.satisfiable(S.negate(formula))
+        budget_ms = self._budget_ms()
+        outer_deadline = self._deadline
+        if budget_ms is not None:
+            self._deadline = t0 + budget_ms / 1e3
+        try:
+            with _obs.span("smt.prove"):
+                result = not self.satisfiable(S.negate(formula))
+        except SmtTimeout:
+            # conservative "could not prove": sound for every caller (an
+            # obligation that cannot be discharged fails the check), and
+            # deliberately NOT cached — a retry with a bigger budget must
+            # be able to succeed
+            _SMT_STATS.timeouts += 1
+            _obs.incr("smt.timeouts")
+            _SMT_STATS.prove_time += time.perf_counter() - t0
+            return False
+        finally:
+            self._deadline = outer_deadline
         _SMT_STATS.prove_time += time.perf_counter() - t0
         self._prove_cache[key] = result
         self.qcache.store(ckey, result)
         return result
+
+    def _budget_ms(self) -> float | None:
+        if self.timeout_ms is not None:
+            return self.timeout_ms if self.timeout_ms > 0 else None
+        raw = os.environ.get("REPRO_SMT_TIMEOUT_MS", "")
+        if not raw:
+            return None
+        try:
+            ms = float(raw)
+        except ValueError:
+            return None
+        return ms if ms > 0 else None
+
+    def _check_deadline(self):
+        if self._deadline is not None and time.perf_counter() > self._deadline:
+            raise SmtTimeout()
 
     def satisfiable(self, formula) -> bool:
         _SMT_STATS.sat_calls += 1
@@ -429,6 +471,7 @@ class Solver:
     # -- ground satisfiability ----------------------------------------------
 
     def _conjunct_feasible(self, literals) -> bool:
+        self._check_deadline()
         key = frozenset(literals)
         cached = self._feas_cache.get(key)
         if cached is None:
@@ -445,6 +488,7 @@ class Solver:
         constructors then fold the div/mod terms away.  Remaining purely
         linear conjunctions go to the Omega test.
         """
+        self._check_deadline()
         split = self._choose_residue_split(literals) if depth < 8 else None
         if split is not None:
             v, d = split

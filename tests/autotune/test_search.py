@@ -1,0 +1,147 @@
+"""Tests for the search drivers (autotune/search.py): determinism, budget
+discipline, beam search over action spaces, and the Procedure.tune() API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.api import procs_from_source
+from repro.autotune import Choice, Space, TuneConfig, search
+
+HEADER = (
+    "from __future__ import annotations\n"
+    "from repro import proc, DRAM, f32, size\n"
+)
+
+
+def _p(body):
+    return list(procs_from_source(HEADER + body).values())[-1]
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    was_enabled = obs.enabled()
+    obs.enable()
+    obs.reset()
+    yield
+    obs.reset()
+    if not was_enabled:
+        obs.disable()
+
+
+@pytest.fixture
+def gemv():
+    return _p(
+        """
+@proc
+def gemv(A: f32[64, 64] @ DRAM, x: f32[64] @ DRAM, y: f32[64] @ DRAM):
+    for i in seq(0, 64):
+        for j in seq(0, 64):
+            y[i] += A[i, j] * x[j]
+"""
+    )
+
+
+def _space(base):
+    def build(b, factor, swap):
+        p = b.split("for i in _: _", factor, "io", "ii", tail="perfect")
+        if swap:
+            p = p.reorder("for ii in _: _")
+        return p
+
+    return Space("gemv", base,
+                 choices=[Choice("factor", (2, 4, 7, 8, 16)),
+                          Choice("swap", (False, True))],
+                 build=build)
+
+
+class TestGridSearch:
+    def test_same_seed_same_winner(self, gemv):
+        cfg = TuneConfig(seed=0, budget=64)
+        r1 = search(_space(gemv), cfg)
+        r2 = search(_space(gemv), cfg)
+        assert r1.best.params == r2.best.params
+        assert str(r1.best.proc) == str(r2.best.proc)
+        assert [c.params_key() for c in r1.candidates] == [
+            c.params_key() for c in r2.candidates
+        ]
+
+    def test_budget_caps_candidates_deterministically(self, gemv):
+        cfg = TuneConfig(seed=7, budget=4)
+        r1 = search(_space(gemv), cfg)
+        r2 = search(_space(gemv), cfg)
+        assert len(r1.candidates) == 4
+        assert [c.params_key() for c in r1.candidates] == [
+            c.params_key() for c in r2.candidates
+        ]
+
+    def test_illegal_points_pruned_and_counted(self, gemv):
+        r = search(_space(gemv), TuneConfig(seed=0, budget=64))
+        assert r.stats["candidates"] == 10
+        assert r.stats["pruned"] == 2  # factor=7 x swap in {F, T}
+        assert r.stats["survivors"] == 8
+        assert all((c.ok or c.error) for c in r.candidates)
+
+    def test_ranked_is_cost_sorted(self, gemv):
+        r = search(_space(gemv), TuneConfig(seed=0, budget=64))
+        costs = [c.cost.cycles for c in r.ranked]
+        assert costs == sorted(costs)
+        assert r.best is r.ranked[0]
+
+    def test_summary_shape(self, gemv):
+        s = search(_space(gemv), TuneConfig(seed=0, budget=64)).summary()
+        assert s["space"] == "gemv"
+        assert s["winner_cycles"] > 0
+        assert s["measure_mode"] is False
+        assert s["measured"] == 0
+
+
+class TestBeamSearch:
+    def test_action_search_improves_on_base(self, gemv):
+        from repro.autotune import cost_of
+
+        sp = Space.action_space("gemv_actions", gemv, depth=2)
+        r = search(sp, TuneConfig(seed=1, budget=20))
+        assert r.best is not None
+        assert r.best.cost.cycles <= cost_of(gemv).cycles
+
+    def test_action_search_deterministic(self, gemv):
+        cfg = TuneConfig(seed=3, budget=15)
+        r1 = search(Space.action_space("a", gemv, depth=2), cfg)
+        r2 = search(Space.action_space("a", gemv, depth=2), cfg)
+        assert r1.best.describe() == r2.best.describe()
+        assert str(r1.best.proc) == str(r2.best.proc)
+
+    def test_budget_respected(self, gemv):
+        r = search(Space.action_space("a", gemv, depth=3),
+                   TuneConfig(seed=0, budget=9))
+        # base + at most `budget` expansions
+        assert len(r.candidates) <= 10
+
+
+class TestTuneAPI:
+    def test_tune_default_action_space(self, gemv):
+        r = gemv.tune(seed=2, budget=8)
+        assert r.best is not None
+        assert r.stats["candidates"] <= 9
+
+    def test_tune_with_choices(self, gemv):
+        def build(b, factor):
+            return b.split("for i in _: _", factor, "io", "ii",
+                           tail="perfect")
+
+        r = gemv.tune(choices=[Choice("factor", (4, 8))], build=build,
+                      seed=0, budget=8)
+        assert r.best is not None
+        assert r.best.params["factor"] in (4, 8)
+
+    def test_tune_rejects_config_plus_kwargs(self, gemv):
+        with pytest.raises(ValueError):
+            gemv.tune(config=TuneConfig(), seed=5)
+
+    def test_tune_populates_profile(self, gemv):
+        gemv.tune(seed=0, budget=4)
+        prof = obs.profile_dict()
+        assert "autotune" in prof
+        assert prof["autotune"]["candidates_generated"] > 0

@@ -1,0 +1,192 @@
+"""Satellite coverage: ``split(tail='cut')`` and ``split(tail='perfect')``
+under journal record/replay and cursor forwarding.
+
+Both tail strategies must (a) journal as replayable records that
+regenerate the procedure byte-identically, (b) forward cursors taken
+before the split to valid targets afterwards, and (c) preserve program
+semantics (differentially tested on non-dividing sizes for ``cut``).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import SchedulingError, obs
+from repro.api import procs_from_source
+from repro.obs import journal
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from helpers import assert_equiv, rand_f32  # noqa: E402
+
+HEADER = (
+    "from __future__ import annotations\n"
+    "from repro import proc, DRAM, f32, size\n"
+)
+
+
+def _p(body):
+    return list(procs_from_source(HEADER + body).values())[-1]
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    was_enabled = obs.enabled()
+    obs.enable()
+    obs.reset()
+    yield
+    obs.reset()
+    if not was_enabled:
+        obs.disable()
+
+
+@pytest.fixture
+def saxpy():
+    return _p(
+        """
+@proc
+def saxpy(N: size, x: f32[N] @ DRAM, y: f32[N] @ DRAM):
+    for i in seq(0, N):
+        y[i] += 2.0 * x[i]
+"""
+    )
+
+
+@pytest.fixture
+def saxpy_div():
+    return _p(
+        """
+@proc
+def saxpy8(N: size, x: f32[N] @ DRAM, y: f32[N] @ DRAM):
+    assert N % 8 == 0
+    for i in seq(0, N):
+        y[i] += 2.0 * x[i]
+"""
+    )
+
+
+def _args(n):
+    def build(rng):
+        return [n, rand_f32(rng, n), rand_f32(rng, n)]
+
+    return build
+
+
+class TestSemantics:
+    def test_cut_handles_nondividing_sizes(self, saxpy):
+        cut = saxpy.split("for i in _: _", 8, "io", "ii", tail="cut")
+        # a main loop plus a separate remainder loop
+        assert str(cut).count("seq") == 3
+        for n in (5, 8, 19):
+            assert_equiv(saxpy, cut, _args(n))
+
+    def test_perfect_requires_provable_divisibility(self, saxpy, saxpy_div):
+        with pytest.raises(SchedulingError):
+            saxpy.split("for i in _: _", 8, "io", "ii", tail="perfect")
+        perfect = saxpy_div.split("for i in _: _", 8, "io", "ii",
+                                  tail="perfect")
+        # no tail loop, no guard
+        assert str(perfect).count("seq") == 2
+        assert "if" not in perfect.c_code().split("saxpy8")[-1].split("{", 1)[-1]
+        assert_equiv(saxpy_div, perfect, _args(16))
+
+
+class TestJournalReplay:
+    def test_cut_replays_byte_identically(self, saxpy):
+        cut = saxpy.split("for i in _: _", 8, "io", "ii", tail="cut")
+        rec = cut.schedule_log()[-1]
+        assert rec.op == "split"
+        assert ("tail", "cut") in rec.kwargs
+        assert rec.verdict == journal.VERDICT_OK
+
+        again = journal.replay(saxpy, cut.schedule_log())
+        assert str(again) == str(cut)
+        assert again.c_code() == cut.c_code()
+
+    def test_perfect_replays_byte_identically(self, saxpy_div):
+        perfect = saxpy_div.split("for i in _: _", 8, "io", "ii",
+                                  tail="perfect")
+        rec = perfect.schedule_log()[-1]
+        assert ("tail", "perfect") in rec.kwargs
+        assert rec.verdict == journal.VERDICT_OK
+
+        again = perfect.replay_schedule()
+        assert str(again) == str(perfect)
+        assert again.c_code() == perfect.c_code()
+
+    def test_cursor_steered_split_journals_pathref(self, saxpy):
+        """A split steered by a cursor must journal a PathRef (plus the
+        human-readable pattern) and still replay identically."""
+        loop = saxpy.find("for i in _: _")
+        cut = saxpy.split(loop, 8, "io", "ii", tail="cut")
+        rec = cut.schedule_log()[-1]
+        assert isinstance(rec.args[0], journal.PathRef)
+        again = journal.replay(saxpy, cut.schedule_log())
+        assert str(again) == str(cut)
+
+
+class TestCursorForwarding:
+    def _nest(self):
+        return _p(
+            """
+@proc
+def nest(N: size, A: f32[N, 32] @ DRAM):
+    for i in seq(0, N):
+        for j in seq(0, 32):
+            A[i, j] = 1.0
+"""
+        )
+
+    def test_inner_cursor_survives_cut_split(self):
+        p = self._nest()
+        j_loop = p.find("for j in _: _")
+        cut = p.split("for i in _: _", 8, "io", "ii", tail="cut")
+        # the pre-split cursor forwards into the main nest and remains a
+        # legal directive target
+        unrolled = cut.unroll(j_loop)
+        assert "for j in" not in str(unrolled).split("iit")[0]
+        assert_equiv(p, unrolled,
+                     lambda rng: [19, rand_f32(rng, 19, 32)])
+
+    def test_inner_cursor_survives_perfect_split(self):
+        p = _p(
+            """
+@proc
+def nest8(N: size, A: f32[N, 32] @ DRAM):
+    assert N % 8 == 0
+    for i in seq(0, N):
+        for j in seq(0, 32):
+            A[i, j] = 1.0
+"""
+        )
+        j_loop = p.find("for j in _: _")
+        perfect = p.split("for i in _: _", 8, "io", "ii", tail="perfect")
+        # the pre-split cursor forwards to a valid directive target
+        unrolled = perfect.unroll(j_loop)
+        assert "for j in" not in str(unrolled)
+        assert_equiv(p, unrolled,
+                     lambda rng: [16, rand_f32(rng, 16, 32)])
+
+    def test_split_loop_cursor_forwards_to_outer(self):
+        """The split loop's own cursor forwards (to the outer loop of the
+        pair), for both tail strategies."""
+        for tail in ("perfect", "cut"):
+            p = self._nest() if tail == "cut" else _p(
+                """
+@proc
+def nest8(N: size, A: f32[N, 32] @ DRAM):
+    assert N % 8 == 0
+    for i in seq(0, N):
+        for j in seq(0, 32):
+            A[i, j] = 1.0
+"""
+            )
+            i_loop = p.find("for i in _: _")
+            tiled = p.split(i_loop, 8, "io", "ii", tail=tail)
+            # the forwarded cursor targets the new io loop: splitting it
+            # again is legal and journals on top
+            again = tiled.split(i_loop, 2, "ioo", "ioi", tail="cut")
+            assert len(again.schedule_log()) == 2

@@ -1,0 +1,118 @@
+"""Satellite coverage: the configurable per-query SMT timeout.
+
+``Solver.prove`` honors a millisecond budget — programmatic
+(``solver.timeout_ms``) or via ``$REPRO_SMT_TIMEOUT_MS`` — and on expiry
+fails *conservatively* (returns unproven), bumps the ``smt.timeouts``
+stats/obs counters, and does NOT cache the failure, so a retry with a
+bigger budget can still succeed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core.prelude import Sym
+from repro.obs.smtstats import STATS
+from repro.smt import terms as S
+from repro.smt.solver import SmtTimeout, Solver
+
+
+def V(name):
+    return S.Var(Sym(name))
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    was_enabled = obs.enabled()
+    obs.enable()
+    obs.reset()
+    yield
+    obs.reset()
+    if not was_enabled:
+        obs.disable()
+
+
+def _valid_formula():
+    # x + 1 > x: valid, but still exercises the DNF/feasibility machinery
+    x = V("x")
+    return S.gt(S.add(x, S.IntC(1)), x)
+
+
+class TestBudget:
+    def test_no_timeout_by_default(self):
+        s = Solver()
+        assert s._budget_ms() is None
+        assert s.prove(_valid_formula())
+
+    def test_programmatic_budget(self):
+        s = Solver()
+        s.timeout_ms = 250.0
+        assert s._budget_ms() == 250.0
+        s.timeout_ms = 0  # explicit zero disables
+        assert s._budget_ms() is None
+        s.timeout_ms = -5
+        assert s._budget_ms() is None
+
+    def test_env_budget(self, monkeypatch):
+        s = Solver()
+        monkeypatch.setenv("REPRO_SMT_TIMEOUT_MS", "123.5")
+        assert s._budget_ms() == 123.5
+        monkeypatch.setenv("REPRO_SMT_TIMEOUT_MS", "0")
+        assert s._budget_ms() is None
+        monkeypatch.setenv("REPRO_SMT_TIMEOUT_MS", "not-a-number")
+        assert s._budget_ms() is None
+
+    def test_programmatic_overrides_env(self, monkeypatch):
+        s = Solver()
+        monkeypatch.setenv("REPRO_SMT_TIMEOUT_MS", "5000")
+        s.timeout_ms = 1.0
+        assert s._budget_ms() == 1.0
+
+
+class TestExpiry:
+    def test_expired_budget_is_conservative_and_counted(self):
+        s = Solver()
+        s.timeout_ms = 1e-9  # expires before the first feasibility check
+        before_stats = STATS.timeouts
+        assert s.prove(_valid_formula()) is False  # unproven, not wrong
+        assert STATS.timeouts == before_stats + 1
+        totals = obs.trace.TRACER.counter_totals()
+        assert totals.get("smt.timeouts", 0) == 1
+
+    def test_timeout_not_cached_retry_succeeds(self):
+        s = Solver()
+        f = _valid_formula()
+        s.timeout_ms = 1e-9
+        assert s.prove(f) is False
+        # a bigger budget must be able to succeed: neither the exact-key
+        # nor the canonical-key cache may have recorded the failure
+        s.timeout_ms = None
+        assert s.prove(f) is True
+
+    def test_deadline_scoped_to_prove(self):
+        """The deadline must not leak past prove(): find_model and later
+        prove() calls run unbudgeted."""
+        s = Solver()
+        s.timeout_ms = 1e-9
+        s.prove(_valid_formula())
+        assert s._deadline is None
+        s.timeout_ms = None
+        x = V("x")
+        assert s.find_model(S.eq(x, S.IntC(3))) is not None
+
+    def test_check_deadline_raises(self):
+        import time
+
+        s = Solver()
+        s._deadline = time.perf_counter() - 1.0
+        with pytest.raises(SmtTimeout):
+            s._check_deadline()
+        s._deadline = None
+        s._check_deadline()  # no deadline: no raise
+
+    def test_timeouts_surface_in_profile(self):
+        s = Solver()
+        s.timeout_ms = 1e-9
+        s.prove(_valid_formula())
+        prof = obs.profile_dict()
+        assert prof["smt"]["timeouts"] >= 1

@@ -1,0 +1,81 @@
+"""Satellite coverage: the shared benchmark-artifact registry.
+
+``benchmarks/conftest.py`` deep-merges every contribution to a JSON
+artifact instead of letting the last writer clobber earlier namespaces —
+two bench files (or a bench file and ``scripts/tune_smoke.py``) writing
+the same artifact in one session must both survive in the output."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_CONFTEST = Path(__file__).resolve().parent.parent / "benchmarks" / "conftest.py"
+
+
+@pytest.fixture
+def bench():
+    spec = importlib.util.spec_from_file_location("bench_conftest", _CONFTEST)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestDeepMerge:
+    def test_disjoint_namespaces_union(self, bench):
+        dst = {"spans": {"a": 1}}
+        bench.deep_merge(dst, {"counters": {"x": 2}})
+        assert dst == {"spans": {"a": 1}, "counters": {"x": 2}}
+
+    def test_nested_dicts_merge_recursively(self, bench):
+        dst = {"searches": {"sgemm": {"seed": 0}}}
+        bench.deep_merge(dst, {"searches": {"conv": {"seed": 1}}})
+        assert set(dst["searches"]) == {"sgemm", "conv"}
+
+    def test_counter_leaves_accumulate(self, bench):
+        dst = {"counters": {"autotune.candidates_generated": 30}}
+        bench.deep_merge(dst, {"counters": {"autotune.candidates_generated": 12,
+                                            "smt.timeouts": 1}})
+        assert dst["counters"] == {"autotune.candidates_generated": 42,
+                                   "smt.timeouts": 1}
+
+    def test_non_counter_scalar_latest_wins_at_leaf_only(self, bench):
+        dst = {"exit_status": 1, "spans": {"a": {"ms": 5}}}
+        bench.deep_merge(dst, {"exit_status": 0})
+        assert dst["exit_status"] == 0
+        assert dst["spans"] == {"a": {"ms": 5}}  # sibling survives
+
+    def test_bools_are_not_summed(self, bench):
+        dst = {"counters": {"flag": True}}
+        bench.deep_merge(dst, {"counters": {"flag": True}})
+        assert dst["counters"]["flag"] is True
+
+
+class TestRegistry:
+    def test_multiple_recorders_merge_not_clobber(self, bench, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.setattr(bench, "_ARTIFACT_DIR", str(tmp_path))
+        bench._ARTIFACTS.clear()
+        bench.record_artifact("BENCH_x.json",
+                             {"searches": {"a": {"winner": "p1"}},
+                              "counters": {"n": 1}})
+        bench.record_artifact("BENCH_x.json",
+                             {"searches": {"b": {"winner": "p2"}},
+                              "counters": {"n": 2}})
+        paths = bench.flush_artifacts()
+        assert [Path(p).name for p in paths] == ["BENCH_x.json"]
+        data = json.loads(Path(paths[0]).read_text())
+        assert set(data["searches"]) == {"a", "b"}  # no last-writer-wins
+        assert data["counters"]["n"] == 3
+
+    def test_distinct_artifacts_write_distinct_files(self, bench, tmp_path,
+                                                     monkeypatch):
+        monkeypatch.setattr(bench, "_ARTIFACT_DIR", str(tmp_path))
+        bench._ARTIFACTS.clear()
+        bench.record_artifact("BENCH_a.json", {"x": 1})
+        bench.record_artifact("BENCH_b.json", {"y": 2})
+        names = sorted(Path(p).name for p in bench.flush_artifacts())
+        assert names == ["BENCH_a.json", "BENCH_b.json"]
